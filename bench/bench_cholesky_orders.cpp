@@ -1,0 +1,41 @@
+// C2 — §1's motivating claim: "All six permutations of these three
+// loops compute the same result, but their performance, even on
+// sequential machines, can be quite different."
+//
+// One series per loop ordering, swept over matrix size. EXPERIMENTS.md
+// records the measured shape (right-looking/left-looking column forms
+// vs row-oriented forms).
+#include <benchmark/benchmark.h>
+
+#include "kernels/cholesky.hpp"
+
+namespace {
+
+using namespace inlt::kernels;
+
+void BM_Cholesky(benchmark::State& state) {
+  auto variant = cholesky_variants()[static_cast<size_t>(state.range(0))];
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  Matrix input = make_spd(n, 42);
+  for (auto _ : state) {
+    Matrix a = input;
+    variant.fn(a, n);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(variant.name);
+  // Cholesky is n^3/3 flops (multiply-add counted as 2).
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * n * n / 3);
+}
+
+void Chol_Args(benchmark::internal::Benchmark* b) {
+  for (int v = 0; v < 6; ++v)
+    for (int n : {64, 128, 256, 512}) b->Args({v, n});
+}
+
+BENCHMARK(BM_Cholesky)->Apply(Chol_Args)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

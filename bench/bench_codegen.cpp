@@ -1,0 +1,97 @@
+// C6 — code-generation cost: Fourier–Motzkin bound generation and the
+// whole §5 pipeline as nest depth grows (skewed deep perfect nests are
+// the worst case for FM, since every level's bounds mention all outer
+// variables).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "codegen/generate.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "transform/completion.hpp"
+#include "transform/transforms.hpp"
+
+namespace {
+
+using namespace inlt;
+
+Program make_deep_nest(int depth) {
+  std::ostringstream os;
+  os << "param N\n";
+  std::string indent;
+  for (int d = 0; d < depth; ++d) {
+    os << indent << "do I" << d << " = 1, N\n";
+    indent += "  ";
+  }
+  os << indent << "S0: A(";
+  for (int d = 0; d < depth; ++d) os << (d ? ", " : "") << "I" << d;
+  os << ") = 1.0\n";
+  for (int d = depth - 1; d >= 0; --d) {
+    indent = std::string(static_cast<size_t>(2 * d), ' ');
+    os << indent << "end\n";
+  }
+  return parse_program(os.str());
+}
+
+IntMat full_skew(const IvLayout& layout, int depth) {
+  // Skew every loop by its inner neighbor: a dense lower-triangular-ish
+  // transformation stressing bound generation.
+  IntMat m = IntMat::identity(layout.size());
+  for (int d = 0; d + 1 < depth; ++d)
+    m = mat_mul(loop_skew(layout, "I" + std::to_string(d),
+                          "I" + std::to_string(d + 1), 1),
+                m);
+  return m;
+}
+
+void BM_GenerateDeepSkew(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Program p = make_deep_nest(depth);
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = full_skew(layout, depth);
+  for (auto _ : state) {
+    CodegenResult res = generate_code(layout, deps, m);
+    benchmark::DoNotOptimize(res.program.roots().size());
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_GenerateDeepSkew)->DenseRange(2, 6)->Unit(
+    benchmark::kMillisecond);
+
+void BM_GenerateCholeskyLeftLooking(benchmark::State& state) {
+  // Full §6 pipeline cost: analysis excluded, codegen only.
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m(7, 7);
+  // Assemble the left-looking matrix via the completion once.
+  {
+    IntVec first(7, 0);
+    first[layout.loop_position("L")] = 1;
+    m = complete_transformation(layout, deps, {first}).matrix;
+  }
+  for (auto _ : state) {
+    CodegenResult res = generate_code(layout, deps, m);
+    benchmark::DoNotOptimize(res.program.roots().size());
+  }
+}
+BENCHMARK(BM_GenerateCholeskyLeftLooking)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSkewAugmentation(benchmark::State& state) {
+  // §5.4/5.5's example end to end, including augmentation.
+  Program p = gallery::augmentation_example();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = loop_skew(layout, "I", "J", -1);
+  for (auto _ : state) {
+    CodegenResult res = generate_code(layout, deps, m);
+    benchmark::DoNotOptimize(res.program.roots().size());
+  }
+}
+BENCHMARK(BM_GenerateSkewAugmentation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

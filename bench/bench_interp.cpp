@@ -1,0 +1,71 @@
+// C7 — interpreter fidelity overhead: how much slower the IR
+// interpreter (the vehicle for semantic verification of every
+// transformation in the test suite) is than native code on the same
+// computation, and the cost of running generated (guarded) code vs the
+// source form.
+#include <benchmark/benchmark.h>
+
+#include "codegen/generate.hpp"
+#include "exec/interp.hpp"
+#include "ir/gallery.hpp"
+#include "kernels/cholesky.hpp"
+#include "transform/completion.hpp"
+
+namespace {
+
+using namespace inlt;
+
+void BM_InterpCholesky(benchmark::State& state) {
+  i64 n = state.range(0);
+  Program p = gallery::cholesky();
+  Memory proto;
+  declare_arrays(p, {{"N", n}}, proto);
+  fill_spd(proto, 3);
+  for (auto _ : state) {
+    Memory mem = proto;
+    InterpStats st = interpret(p, {{"N", n}}, mem);
+    benchmark::DoNotOptimize(st.instances);
+  }
+}
+BENCHMARK(BM_InterpCholesky)->Arg(16)->Arg(32)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_InterpCholeskyTransformed(benchmark::State& state) {
+  // The generated left-looking form: guards and cover bounds add
+  // interpretive overhead; this quantifies it.
+  i64 n = state.range(0);
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntVec first(7, 0);
+  first[layout.loop_position("L")] = 1;
+  IntMat m = complete_transformation(layout, deps, {first}).matrix;
+  Program t = generate_code(layout, deps, m).program;
+  Memory proto;
+  declare_arrays(p, {{"N", n}}, proto);
+  fill_spd(proto, 3);
+  for (auto _ : state) {
+    Memory mem = proto;
+    InterpStats st = interpret(t, {{"N", n}}, mem);
+    benchmark::DoNotOptimize(st.instances);
+  }
+}
+BENCHMARK(BM_InterpCholeskyTransformed)->Arg(16)->Arg(32)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_NativeCholeskyReference(benchmark::State& state) {
+  // Same computation in native C++ (kij form) for the overhead ratio.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  kernels::Matrix input = kernels::make_spd(n, 3);
+  for (auto _ : state) {
+    kernels::Matrix a = input;
+    kernels::cholesky_kij(a, n);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NativeCholeskyReference)->Arg(16)->Arg(32)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

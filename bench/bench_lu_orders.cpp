@@ -1,0 +1,36 @@
+// Companion to C2 for the second classical factorization: LU loop
+// orderings ("matrix factorization codes" generally are §1's
+// motivating imperfect nests).
+#include <benchmark/benchmark.h>
+
+#include "kernels/lu.hpp"
+
+namespace {
+
+using namespace inlt::kernels;
+
+void BM_Lu(benchmark::State& state) {
+  auto variant = lu_variants()[static_cast<size_t>(state.range(0))];
+  std::size_t n = static_cast<std::size_t>(state.range(1));
+  Matrix input = make_dd(n, 5);
+  for (auto _ : state) {
+    Matrix a = input;
+    variant.fn(a, n);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(variant.name);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * n * n * 2 / 3);
+}
+
+void Lu_Args(benchmark::internal::Benchmark* b) {
+  for (int v = 0; v < 4; ++v)
+    for (int n : {64, 128, 256, 512}) b->Args({v, n});
+}
+
+BENCHMARK(BM_Lu)->Apply(Lu_Args)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

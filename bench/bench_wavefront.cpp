@@ -1,0 +1,45 @@
+// C8 — the locality price of the wavefront order: sequential
+// Gauss-Seidel in original vs skewed traversal (the transformation
+// examples/wavefront_parallel.cpp derives). The wavefront makes the
+// inner loop a doall at the cost of diagonal memory strides; this
+// measures that cost on one core.
+#include <benchmark/benchmark.h>
+
+#include "kernels/stencil.hpp"
+
+namespace {
+
+using namespace inlt::kernels;
+
+void BM_GaussSeidelOriginal(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> init((n + 1) * (n + 1), 1.0);
+  for (auto _ : state) {
+    std::vector<double> u = init;
+    gauss_seidel(u, n);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * n);
+}
+
+void BM_GaussSeidelWavefront(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> init((n + 1) * (n + 1), 1.0);
+  for (auto _ : state) {
+    std::vector<double> u = init;
+    gauss_seidel_wavefront(u, n);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * n);
+}
+
+BENCHMARK(BM_GaussSeidelOriginal)->RangeMultiplier(2)->Range(256, 2048)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_GaussSeidelWavefront)->RangeMultiplier(2)->Range(256, 2048)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// The paper's motivating use case end to end (§1/§7): use the linear
+// framework to ENHANCE PARALLELISM. A Gauss-Seidel-style stencil has
+// no parallel loop as written; skewing the outer loop by the inner (wavefront time I+J)
+// turns the inner loop into a doall — found via the nullspace of the
+// dependence matrix, applied as a matrix, code-generated, and
+// re-analyzed to confirm.
+#include <iostream>
+
+#include "codegen/generate.hpp"
+#include "codegen/simplify.hpp"
+#include "exec/verify.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "transform/parallel.hpp"
+#include "transform/transforms.hpp"
+
+int main() {
+  using namespace inlt;
+
+  Program source = parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: U(I, J) = U(I - 1, J) + U(I, J - 1)
+  end
+end
+)");
+  std::cout << "=== source (Gauss-Seidel sweep) ===\n"
+            << print_program(source);
+
+  IvLayout layout(source);
+  DependenceSet deps = analyze_dependences(layout);
+  std::cout << "\ndependences:\n" << deps.to_string();
+
+  std::cout << "\nparallel loops as written: ";
+  auto par = parallel_loops(layout, deps);
+  std::cout << (par.empty() ? "(none)" : par[0]) << "\n";
+
+  // §7: a parallel direction is a row in the nullspace of the
+  // dependence matrix. Here there is none — every direction carries a
+  // dependence — but skewing I by J makes the OUTER loop carry both
+  // dependences, freeing the inner loop.
+  IntMat m = loop_skew(layout, "I", "J", 1);
+  std::cout << "\n=== transformation: skew I by +J (outer time = I+J) ===\n"
+            << mat_to_string(m) << "\n";
+
+  CodegenResult res = generate_code(layout, deps, m);
+  Program wavefront = simplify_program(res.program);
+  std::cout << "\n=== generated wavefront code ===\n"
+            << print_program(wavefront);
+
+  VerifyResult v = verify_equivalence(source, wavefront, {{"N", 20}},
+                                      FillKind::kRandom);
+  std::cout << "\nverification: " << v.to_string() << "\n";
+
+  // Re-analyze the GENERATED program: the inner loop must now be
+  // parallel (all dependences carried by the outer loop).
+  IvLayout wl(wavefront);
+  DependenceSet wdeps = analyze_dependences(wl);
+  std::cout << "\ntransformed dependences:\n" << wdeps.to_string();
+  auto wpar = parallel_loops(wl, wdeps);
+  std::cout << "\nparallel loops after skewing:";
+  for (const std::string& s : wpar) std::cout << " " << s;
+  std::cout << "\n";
+
+  bool inner_parallel = false;
+  for (const std::string& s : wpar)
+    if (s == "J") inner_parallel = true;
+  return (v.equivalent && inner_parallel) ? 0 : 1;
+}

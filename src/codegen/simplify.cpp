@@ -1,0 +1,234 @@
+#include "codegen/simplify.hpp"
+
+#include <algorithm>
+
+#include "linalg/project.hpp"
+#include "support/check.hpp"
+
+namespace inlt {
+
+namespace {
+
+LinExpr affine_to_lin(const ConstraintSystem& cs, const AffineExpr& e) {
+  LinExpr r = cs.zero_expr();
+  r.constant = e.constant();
+  for (const auto& [name, coef] : e.terms())
+    r.coef[cs.var(name)] = checked_add(r.coef[cs.var(name)], coef);
+  return r;
+}
+
+LinExpr negated_minus_one(const ConstraintSystem& cs, const LinExpr& e) {
+  LinExpr r = cs.zero_expr();
+  for (int i = 0; i < cs.num_vars(); ++i) r.coef[i] = checked_neg(e.coef[i]);
+  r.constant = checked_sub(checked_neg(e.constant), 1);
+  return r;
+}
+
+/// ctx ⊨ (e >= 0)?
+bool implied(const ConstraintSystem& ctx, const LinExpr& e) {
+  ConstraintSystem cs = ctx;
+  cs.add_ge(negated_minus_one(cs, e));  // e <= -1
+  return !integer_feasible(cs);
+}
+
+/// Is (e >= 0) satisfiable under ctx?
+bool possible(const ConstraintSystem& ctx, const LinExpr& e) {
+  ConstraintSystem cs = ctx;
+  cs.add_ge(e);
+  return integer_feasible(cs);
+}
+
+/// Is (e == 0) satisfiable under ctx?
+bool eq_possible(const ConstraintSystem& ctx, const LinExpr& e) {
+  ConstraintSystem cs = ctx;
+  cs.add_eq(e);
+  return integer_feasible(cs);
+}
+
+// Bound-term constraint on variable v: lower => den*v - e >= 0,
+// upper => e - den*v >= 0 (exact for integers since den > 0).
+LinExpr term_constraint(const ConstraintSystem& cs, const std::string& v,
+                        const BoundTerm& t, bool lower) {
+  LinExpr e = affine_to_lin(cs, t.expr);
+  int vi = cs.var(v);
+  LinExpr r = cs.zero_expr();
+  if (lower) {
+    for (int i = 0; i < cs.num_vars(); ++i) r.coef[i] = checked_neg(e.coef[i]);
+    r.constant = checked_neg(e.constant);
+    r.coef[vi] = checked_add(r.coef[vi], t.den);
+  } else {
+    r = e;
+    r.coef[vi] = checked_sub(r.coef[vi], t.den);
+  }
+  return r;
+}
+
+struct Simplifier {
+  SimplifyOptions opts;
+
+  // Simplify a tight bound: drop terms implied by the others (plus the
+  // opposite bound) under ctx.
+  void simplify_tight(ConstraintSystem& ctx_with_v, const std::string& v,
+                      std::vector<BoundTerm>& terms,
+                      const std::vector<BoundTerm>& opposite, bool lower) {
+    // Constant folding first.
+    bool all_const = std::all_of(terms.begin(), terms.end(),
+                                 [](const BoundTerm& t) {
+                                   return t.expr.is_constant();
+                                 });
+    if (all_const && terms.size() > 1) {
+      i64 best = 0;
+      bool first = true;
+      for (const BoundTerm& t : terms) {
+        i64 val = lower ? ceil_div(t.expr.constant(), t.den)
+                        : floor_div(t.expr.constant(), t.den);
+        best = first ? val : (lower ? std::max(best, val)
+                                    : std::min(best, val));
+        first = false;
+      }
+      terms = {BoundTerm(AffineExpr(best))};
+      return;
+    }
+    for (size_t i = 0; i < terms.size() && terms.size() > 1;) {
+      ConstraintSystem cs = ctx_with_v;
+      for (size_t j = 0; j < terms.size(); ++j)
+        if (j != i) cs.add_ge(term_constraint(cs, v, terms[j], lower));
+      for (const BoundTerm& o : opposite)
+        cs.add_ge(term_constraint(cs, v, o, !lower));
+      if (implied(cs, term_constraint(cs, v, terms[i], lower)))
+        terms.erase(terms.begin() + static_cast<long>(i));
+      else
+        ++i;
+    }
+  }
+
+  // Simplify a cover bound: drop terms dominated by another term.
+  // For a cover lower (min), t is droppable when some other t'
+  // satisfies t'/d' <= t/d everywhere; symmetric for upper (max).
+  void simplify_cover(const ConstraintSystem& ctx,
+                      std::vector<BoundTerm>& terms, bool lower) {
+    for (size_t i = 0; i < terms.size() && terms.size() > 1;) {
+      bool dominated = false;
+      for (size_t j = 0; j < terms.size() && !dominated; ++j) {
+        if (j == i) continue;
+        // lower: t_j/d_j <= t_i/d_i  <=>  d_i*t_j <= d_j*t_i
+        AffineExpr diff =
+            lower ? terms[i].expr * terms[j].den - terms[j].expr * terms[i].den
+                  : terms[j].expr * terms[i].den - terms[i].expr * terms[j].den;
+        if (implied(ctx, affine_to_lin(ctx, diff))) dominated = true;
+      }
+      if (dominated)
+        terms.erase(terms.begin() + static_cast<long>(i));
+      else
+        ++i;
+    }
+  }
+
+  NodePtr simplify_node(const Node& n, ConstraintSystem ctx) {
+    // Guards first: drop implied, kill impossible, strengthen ctx.
+    std::vector<Guard> kept;
+    for (const Guard& g : n.guards()) {
+      switch (g.kind) {
+        case Guard::Kind::kGeZero: {
+          LinExpr e = affine_to_lin(ctx, g.expr);
+          if (implied(ctx, e)) break;          // redundant
+          if (!possible(ctx, e)) return nullptr;  // dead subtree
+          kept.push_back(g);
+          ctx.add_ge(e);
+          break;
+        }
+        case Guard::Kind::kEqZero: {
+          LinExpr e = affine_to_lin(ctx, g.expr);
+          LinExpr ne = ctx.zero_expr();
+          for (int i = 0; i < ctx.num_vars(); ++i)
+            ne.coef[i] = checked_neg(e.coef[i]);
+          ne.constant = checked_neg(e.constant);
+          if (!eq_possible(ctx, e)) return nullptr;
+          if (implied(ctx, e) && implied(ctx, ne)) break;  // always 0
+          kept.push_back(g);
+          ctx.add_eq(e);
+          break;
+        }
+        case Guard::Kind::kDivisible: {
+          if (g.modulus == 1) break;  // trivially true
+          // Feasibility with a fresh quotient variable; the equality
+          // also strengthens the context for nested checks.
+          LinExpr e = affine_to_lin(ctx, g.expr);
+          int q = ctx.add_var("$q" + std::to_string(ctx.num_vars()));
+          e.coef.push_back(0);  // resize to the new width
+          e.coef[q] = checked_neg(g.modulus);
+          if (!eq_possible(ctx, e)) return nullptr;
+          kept.push_back(g);
+          ctx.add_eq(e);
+          break;
+        }
+      }
+    }
+
+    if (n.is_stmt()) {
+      NodePtr out = Node::stmt(n.stmt_data().clone());
+      for (Guard& g : kept) out->add_guard(std::move(g));
+      return out;
+    }
+
+    // Loop: simplify bounds under the context extended with v.
+    Bound lo = n.lower(), hi = n.upper();
+    ConstraintSystem ctx_v = ctx;
+    ctx_v.add_var(n.var());
+    if (lo.mode == Bound::Mode::kTight && hi.mode == Bound::Mode::kTight) {
+      simplify_tight(ctx_v, n.var(), lo.terms, hi.terms, /*lower=*/true);
+      simplify_tight(ctx_v, n.var(), hi.terms, lo.terms, /*lower=*/false);
+    } else {
+      if (lo.mode == Bound::Mode::kCover)
+        simplify_cover(ctx, lo.terms, /*lower=*/true);
+      else
+        simplify_tight(ctx_v, n.var(), lo.terms, {}, true);
+      if (hi.mode == Bound::Mode::kCover)
+        simplify_cover(ctx, hi.terms, /*lower=*/false);
+      else
+        simplify_tight(ctx_v, n.var(), hi.terms, {}, false);
+    }
+    if (lo.terms.size() == 1) lo.mode = Bound::Mode::kTight;
+    if (hi.terms.size() == 1) hi.mode = Bound::Mode::kTight;
+
+    // Iteration-range constraints for children (tight bounds only —
+    // cover bounds are unions and contribute nothing sound).
+    if (lo.mode == Bound::Mode::kTight)
+      for (const BoundTerm& t : lo.terms)
+        ctx_v.add_ge(term_constraint(ctx_v, n.var(), t, true));
+    if (hi.mode == Bound::Mode::kTight)
+      for (const BoundTerm& t : hi.terms)
+        ctx_v.add_ge(term_constraint(ctx_v, n.var(), t, false));
+    if (!integer_feasible(ctx_v)) return nullptr;  // empty loop
+
+    NodePtr out = Node::loop(n.var(), std::move(lo), std::move(hi), n.step());
+    for (const NodePtr& c : n.children()) {
+      NodePtr sc = simplify_node(*c, ctx_v);
+      if (sc) out->add_child(std::move(sc));
+    }
+    if (out->num_children() == 0) return nullptr;
+    for (Guard& g : kept) out->add_guard(std::move(g));
+    return out;
+  }
+};
+
+}  // namespace
+
+Program simplify_program(const Program& p, const SimplifyOptions& opts) {
+  Program out;
+  ConstraintSystem ctx(p.params());
+  for (const std::string& param : p.params()) {
+    out.add_param(param);
+    if (opts.param_at_least != INT64_MIN)
+      ctx.add_var_ge(ctx.var(param), opts.param_at_least);
+  }
+  Simplifier s{opts};
+  for (const NodePtr& r : p.roots()) {
+    NodePtr sr = s.simplify_node(*r, ctx);
+    if (sr) out.add_root(std::move(sr));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace inlt

@@ -1,0 +1,26 @@
+// Post-codegen simplification — the "standard optimizations" §5.5
+// invokes to turn the raw generated code into its clean final form.
+//
+// Using the Omega-test substrate, the pass drops every bound term and
+// guard that is implied by its context (enclosing loop bounds, guards
+// on the path, and optional positivity assumptions on parameters), and
+// deletes subtrees whose guards can never hold. Cover-mode union
+// bounds whose dominated terms disappear collapse back to tight
+// single-term bounds, reproducing e.g. §5.5's outer `do I = 1-N..0`
+// from the raw `do I = min(1-N, 0)..0`.
+#pragma once
+
+#include "ir/ast.hpp"
+
+namespace inlt {
+
+struct SimplifyOptions {
+  /// Assume every program parameter is >= this value (the paper's
+  /// examples implicitly assume N >= 1). Set to INT64_MIN to disable.
+  i64 param_at_least = 1;
+};
+
+/// Returns the simplified program (the input is not modified).
+Program simplify_program(const Program& p, const SimplifyOptions& opts = {});
+
+}  // namespace inlt

@@ -1,0 +1,55 @@
+#include "dependence/analyzer.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "dependence/system.hpp"
+#include "support/check.hpp"
+
+namespace inlt {
+
+std::vector<DepVector> DependenceSet::columns() const {
+  std::vector<DepVector> out;
+  out.reserve(deps.size());
+  for (const Dependence& d : deps) out.push_back(d.vector);
+  return out;
+}
+
+std::string DependenceSet::to_string() const {
+  std::ostringstream os;
+  for (const Dependence& d : deps)
+    os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " on "
+       << d.array << ": " << dep_to_string(d.vector) << "\n";
+  return os.str();
+}
+
+DependenceSet analyze_dependences(const IvLayout& layout,
+                                  const AnalyzerOptions& opts) {
+  DependenceSet result;
+  std::set<std::string> seen;
+  for (const PairSystem& ps : build_pair_systems(layout)) {
+    DepVector vec;
+    vec.reserve(layout.size());
+    for (int q = 0; q < layout.size(); ++q) {
+      LinExpr dv = position_value_expr(ps.base, layout, ps.dst, q,
+                                       /*src_side=*/false, opts.pad);
+      LinExpr sv = position_value_expr(ps.base, layout, ps.src, q,
+                                       /*src_side=*/true, opts.pad);
+      vec.push_back(classify_delta(ps.base, lin_subtract(ps.base, dv, sv),
+                                   opts.distance_scan_limit));
+    }
+    Dependence dep;
+    dep.src = ps.src;
+    dep.dst = ps.dst;
+    dep.kind = ps.kind;
+    dep.array = ps.array;
+    dep.vector = std::move(vec);
+    std::string key = dep.src + "|" + dep.dst + "|" +
+                      dep_kind_name(dep.kind) + "|" + dep.array + "|" +
+                      dep_to_string(dep.vector);
+    if (seen.insert(key).second) result.deps.push_back(std::move(dep));
+  }
+  return result;
+}
+
+}  // namespace inlt

@@ -1,0 +1,231 @@
+#include "exec/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+namespace {
+
+using Env = std::map<std::string, i64>;
+
+// Deterministic "random" double in [0,1) from a 64-bit state.
+double hash_to_unit(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return a * 0x9e3779b97f4a7c15ULL + b + (a << 6) + (a >> 2);
+}
+
+double eval_scalar(const ScalarExpr& e, const Env& env, const Memory& mem) {
+  switch (e.op) {
+    case ScalarOp::kConst:
+      return e.constant;
+    case ScalarOp::kVar: {
+      auto it = env.find(e.name);
+      INLT_CHECK_MSG(it != env.end(), "unbound variable " + e.name);
+      return static_cast<double>(it->second);
+    }
+    case ScalarOp::kAffine:
+      return static_cast<double>(e.subscripts[0].eval(env));
+    case ScalarOp::kArrayRef: {
+      std::vector<i64> idx;
+      idx.reserve(e.subscripts.size());
+      for (const AffineExpr& s : e.subscripts) idx.push_back(s.eval(env));
+      return mem.at(e.name).get(idx);
+    }
+    case ScalarOp::kAdd:
+      return eval_scalar(*e.args[0], env, mem) +
+             eval_scalar(*e.args[1], env, mem);
+    case ScalarOp::kSub:
+      return eval_scalar(*e.args[0], env, mem) -
+             eval_scalar(*e.args[1], env, mem);
+    case ScalarOp::kMul:
+      return eval_scalar(*e.args[0], env, mem) *
+             eval_scalar(*e.args[1], env, mem);
+    case ScalarOp::kDiv:
+      return eval_scalar(*e.args[0], env, mem) /
+             eval_scalar(*e.args[1], env, mem);
+    case ScalarOp::kNeg:
+      return -eval_scalar(*e.args[0], env, mem);
+    case ScalarOp::kSqrt:
+      return std::sqrt(eval_scalar(*e.args[0], env, mem));
+    case ScalarOp::kFunc: {
+      // A pure function of its name and argument values only — NOT of
+      // the enclosing loop environment, so transformed programs
+      // evaluating the same dynamic instance get the same value.
+      std::uint64_t h = std::hash<std::string>{}(e.name);
+      for (const auto& a : e.args) {
+        double v = eval_scalar(*a, env, mem);
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = mix(h, bits);
+      }
+      return hash_to_unit(h);
+    }
+  }
+  throw Error("unreachable scalar op");
+}
+
+struct Runner {
+  const InterpOptions& opts;
+  Memory& mem;
+  InterpStats stats;
+
+  void run(const Node& n, Env& env) {
+    for (const Guard& g : n.guards()) {
+      if (!g.holds(env)) {
+        ++stats.guard_failures;
+        return;
+      }
+    }
+    if (n.is_stmt()) {
+      const Statement& s = n.stmt_data();
+      double v = s.rhs ? eval_scalar(*s.rhs, env, mem) : 0.0;
+      std::vector<i64> idx;
+      idx.reserve(s.lhs_subscripts.size());
+      for (const AffineExpr& e : s.lhs_subscripts) idx.push_back(e.eval(env));
+      if (opts.observer) {
+        std::vector<ArrayAccess> reads;
+        if (s.rhs) collect_reads(*s.rhs, reads);
+        for (const ArrayAccess& a : reads) {
+          AccessEvent ev{s.label, a.array, {}, false};
+          for (const AffineExpr& e : a.subscripts)
+            ev.index.push_back(e.eval(env));
+          opts.observer(ev);
+        }
+        opts.observer({s.label, s.lhs_array, idx, true});
+      }
+      mem.at(s.lhs_array).set(idx, v);
+      ++stats.instances;
+      INLT_CHECK_MSG(stats.instances <= opts.max_instances,
+                     "interpreter instance budget exceeded");
+      return;
+    }
+    i64 lo = n.lower().eval_lower(env);
+    i64 hi = n.upper().eval_upper(env);
+    for (i64 v = lo; v <= hi; v += n.step()) {
+      ++stats.loop_iterations;
+      env[n.var()] = v;
+      for (const NodePtr& c : n.children()) run(*c, env);
+      env.erase(n.var());
+    }
+  }
+};
+
+}  // namespace
+
+InterpStats interpret(const Program& p, const std::map<std::string, i64>& params,
+                      Memory& mem, const InterpOptions& opts) {
+  Runner r{opts, mem, {}};
+  Env env = params;
+  for (const NodePtr& root : p.roots()) r.run(*root, env);
+  return r.stats;
+}
+
+void declare_arrays(const Program& p, const std::map<std::string, i64>& params,
+                    Memory& mem) {
+  // Dry-run the loop structure, recording per-array per-dimension
+  // subscript extremes.
+  struct Range {
+    std::vector<i64> lo, hi;
+    bool init = false;
+  };
+  std::map<std::string, Range> ranges;
+  auto note = [&](const std::string& array, const std::vector<i64>& idx) {
+    Range& r = ranges[array];
+    if (!r.init) {
+      r.lo = r.hi = idx;
+      r.init = true;
+      return;
+    }
+    INLT_CHECK_MSG(r.lo.size() == idx.size(),
+                   "array " + array + " used with inconsistent rank");
+    for (size_t d = 0; d < idx.size(); ++d) {
+      r.lo[d] = std::min(r.lo[d], idx[d]);
+      r.hi[d] = std::max(r.hi[d], idx[d]);
+    }
+  };
+
+  std::function<void(const Node&, std::map<std::string, i64>&)> dry =
+      [&](const Node& n, std::map<std::string, i64>& env) {
+        for (const Guard& g : n.guards())
+          if (!g.holds(env)) return;
+        if (n.is_stmt()) {
+          for (const ArrayAccess& a : n.stmt_data().accesses()) {
+            std::vector<i64> idx;
+            for (const AffineExpr& s : a.subscripts)
+              idx.push_back(s.eval(env));
+            note(a.array, idx);
+          }
+          return;
+        }
+        i64 lo = n.lower().eval_lower(env);
+        i64 hi = n.upper().eval_upper(env);
+        for (i64 v = lo; v <= hi; v += n.step()) {
+          env[n.var()] = v;
+          for (const NodePtr& c : n.children()) dry(*c, env);
+          env.erase(n.var());
+        }
+      };
+  std::map<std::string, i64> env = params;
+  for (const NodePtr& root : p.roots()) dry(*root, env);
+
+  for (auto& [name, r] : ranges) {
+    if (mem.has(name)) continue;
+    INLT_CHECK(r.init);
+    mem.declare(name, r.lo, r.hi);
+  }
+}
+
+void randomize(Memory& mem, unsigned seed) {
+  for (auto& [name, arr] : mem.arrays()) {
+    std::uint64_t h0 = mix(seed, std::hash<std::string>{}(name));
+    std::uint64_t counter = 0;
+    std::vector<std::pair<std::vector<i64>, double>> writes;
+    arr.for_each_index([&](const std::vector<i64>& idx) {
+      writes.emplace_back(idx, hash_to_unit(mix(h0, ++counter)));
+    });
+    for (auto& [idx, v] : writes) arr.set(idx, v);
+  }
+}
+
+void fill_spd(Memory& mem, unsigned seed) {
+  for (auto& [name, arr] : mem.arrays()) {
+    std::uint64_t h0 = mix(seed ^ 0xabcdef, std::hash<std::string>{}(name));
+    if (arr.rank() == 2 && arr.lo(0) == arr.lo(1) && arr.hi(0) == arr.hi(1)) {
+      // Symmetric, strongly diagonally dominant => positive definite.
+      i64 n = arr.hi(0) - arr.lo(0) + 1;
+      for (i64 i = arr.lo(0); i <= arr.hi(0); ++i)
+        for (i64 j = arr.lo(1); j <= i; ++j) {
+          double v = 0.5 * hash_to_unit(mix(h0, mix(static_cast<std::uint64_t>(
+                                                        i + 1000),
+                                                    static_cast<std::uint64_t>(
+                                                        j + 1000))));
+          if (i == j) v += static_cast<double>(n) + 1.0;
+          arr.set({i, j}, v);
+          arr.set({j, i}, v);
+        }
+    } else {
+      std::uint64_t counter = 0;
+      std::vector<std::pair<std::vector<i64>, double>> writes;
+      arr.for_each_index([&](const std::vector<i64>& idx) {
+        writes.emplace_back(idx, 1.0 + hash_to_unit(mix(h0, ++counter)));
+      });
+      for (auto& [idx, v] : writes) arr.set(idx, v);
+    }
+  }
+}
+
+}  // namespace inlt

@@ -1,0 +1,63 @@
+// Interpreter for inlt programs.
+//
+// Executes a Program against a Memory, giving transformations an
+// executable semantics: a transformed program is correct when it
+// leaves memory in the same state as the source program on the same
+// inputs. Uninterpreted functions (f(), g(), ...) evaluate to a
+// deterministic hash of the function name, the evaluated arguments and
+// the current loop environment, so they are pure and order-independent
+// — exactly what comparing two statement orders requires.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exec/array.hpp"
+#include "ir/ast.hpp"
+
+namespace inlt {
+
+/// One array access performed by an executed statement instance.
+struct AccessEvent {
+  std::string stmt;   ///< statement label
+  std::string array;
+  std::vector<i64> index;
+  bool is_write = false;
+};
+
+struct InterpOptions {
+  /// Bound on executed statement instances (runaway guard).
+  i64 max_instances = 50'000'000;
+  /// Optional access observer (drives the dependence-order oracle in
+  /// exec/trace.hpp). Reads are reported before the write.
+  std::function<void(const AccessEvent&)> observer;
+};
+
+struct InterpStats {
+  i64 instances = 0;       ///< statement instances executed
+  i64 loop_iterations = 0; ///< loop header iterations executed
+  i64 guard_failures = 0;  ///< guard evaluations that suppressed a subtree
+};
+
+/// Run the program. `params` binds symbolic parameters; arrays must be
+/// pre-declared in `mem` (see declare_arrays below).
+InterpStats interpret(const Program& p, const std::map<std::string, i64>& params,
+                      Memory& mem, const InterpOptions& opts = {});
+
+/// Declare every array the program touches, sized so all subscripts at
+/// the given parameter values are in range (probed conservatively from
+/// the subscript expressions).
+void declare_arrays(const Program& p, const std::map<std::string, i64>& params,
+                    Memory& mem);
+
+/// Fill every declared array with deterministic pseudo-random values
+/// (seeded), e.g. as common input for source/target comparison.
+void randomize(Memory& mem, unsigned seed);
+
+/// Fill arrays so matrices are symmetric positive definite when square
+/// — diagonally dominant values — letting Cholesky-like codes run
+/// without NaNs.
+void fill_spd(Memory& mem, unsigned seed);
+
+}  // namespace inlt

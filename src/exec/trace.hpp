@@ -1,0 +1,26 @@
+// Dependence-order oracle on execution traces.
+//
+// Stronger diagnosis than final-memory comparison: for every array
+// cell, a correct transformation must preserve (a) the exact sequence
+// of writes and (b) which write each read observes. This detects
+// reorderings that happen to cancel numerically and names the first
+// cell where the orders diverge.
+#pragma once
+
+#include "exec/interp.hpp"
+
+namespace inlt {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string diagnosis;  ///< empty when ok
+};
+
+/// Run source and transformed programs and compare per-cell access
+/// orders: the write sequences must be identical (labels, in order)
+/// and the multiset of reads between consecutive writes must match.
+TraceCheckResult check_dependence_order(
+    const Program& source, const Program& transformed,
+    const std::map<std::string, i64>& params);
+
+}  // namespace inlt

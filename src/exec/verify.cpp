@@ -1,0 +1,41 @@
+#include "exec/verify.hpp"
+
+#include <sstream>
+
+namespace inlt {
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream os;
+  os << (equivalent ? "equivalent" : "NOT equivalent")
+     << " (max diff " << max_diff << ", instances " << src_instances << " vs "
+     << dst_instances << ")";
+  return os.str();
+}
+
+VerifyResult verify_equivalence(const Program& source,
+                                const Program& transformed,
+                                const std::map<std::string, i64>& params,
+                                FillKind fill, unsigned seed,
+                                double tolerance) {
+  Memory mem;
+  declare_arrays(source, params, mem);
+  // The transformed program may touch cells the source sizing missed
+  // only through a bug; declare_arrays skips already-declared arrays,
+  // so running it for the transformed program just catches new arrays.
+  declare_arrays(transformed, params, mem);
+  if (fill == FillKind::kSpd)
+    fill_spd(mem, seed);
+  else
+    randomize(mem, seed);
+  Memory mem2 = mem;
+
+  VerifyResult r;
+  r.src_instances = interpret(source, params, mem).instances;
+  r.dst_instances = interpret(transformed, params, mem2).instances;
+  r.max_diff = mem.max_abs_diff(mem2);
+  r.equivalent =
+      r.max_diff <= tolerance && r.src_instances == r.dst_instances;
+  return r;
+}
+
+}  // namespace inlt

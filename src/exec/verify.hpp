@@ -1,0 +1,38 @@
+// End-to-end semantic verification of transformations.
+//
+// A transformed program is equivalent to its source when, run against
+// identical initial memory, it executes the same number of statement
+// instances and leaves every array in the same state. Cholesky-style
+// bodies (sqrt, division, subtraction chains) are order-sensitive in
+// floating point only up to reassociation noise, so comparison uses a
+// small tolerance.
+#pragma once
+
+#include "exec/interp.hpp"
+
+namespace inlt {
+
+enum class FillKind {
+  kRandom,  ///< independent uniform values
+  kSpd,     ///< symmetric diagonally-dominant square matrices
+};
+
+struct VerifyResult {
+  bool equivalent = false;
+  double max_diff = 0.0;
+  i64 src_instances = 0;
+  i64 dst_instances = 0;
+
+  std::string to_string() const;
+};
+
+/// Run source and transformed programs on identical inputs and compare
+/// final memory. Arrays are sized from the source program's accesses.
+VerifyResult verify_equivalence(const Program& source,
+                                const Program& transformed,
+                                const std::map<std::string, i64>& params,
+                                FillKind fill = FillKind::kSpd,
+                                unsigned seed = 1,
+                                double tolerance = 1e-9);
+
+}  // namespace inlt

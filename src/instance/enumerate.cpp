@@ -1,0 +1,45 @@
+#include "instance/enumerate.hpp"
+
+namespace inlt {
+
+namespace {
+
+void run_node(const Node& n, std::map<std::string, i64>& env,
+              IntVec& iter_stack,
+              const std::function<void(const DynamicInstance&)>& visit) {
+  for (const Guard& g : n.guards())
+    if (!g.holds(env)) return;
+  if (n.is_stmt()) {
+    visit({n.stmt_data().label, iter_stack});
+    return;
+  }
+  i64 lo = n.lower().eval_lower(env);
+  i64 hi = n.upper().eval_upper(env);
+  for (i64 v = lo; v <= hi; v += n.step()) {
+    env[n.var()] = v;
+    iter_stack.push_back(v);
+    for (const NodePtr& c : n.children()) run_node(*c, env, iter_stack, visit);
+    iter_stack.pop_back();
+    env.erase(n.var());
+  }
+}
+
+}  // namespace
+
+void enumerate_instances(
+    const Program& p, const std::map<std::string, i64>& params,
+    const std::function<void(const DynamicInstance&)>& visit) {
+  std::map<std::string, i64> env = params;
+  IntVec iter_stack;
+  for (const NodePtr& r : p.roots()) run_node(*r, env, iter_stack, visit);
+}
+
+std::vector<DynamicInstance> all_instances(
+    const Program& p, const std::map<std::string, i64>& params) {
+  std::vector<DynamicInstance> out;
+  enumerate_instances(p, params,
+                      [&](const DynamicInstance& di) { out.push_back(di); });
+  return out;
+}
+
+}  // namespace inlt

@@ -1,0 +1,26 @@
+// Enumeration of a program's dynamic instances in execution order.
+//
+// Drives property tests of Theorem 1 (L is one-to-one and order-
+// preserving): enumerate instances by directly executing the loop
+// structure, then check instance vectors are strictly increasing.
+// Guards are honored, so transformed programs enumerate correctly too.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "instance/layout.hpp"
+
+namespace inlt {
+
+/// Visit every dynamic instance in execution order. `params` binds the
+/// program's symbolic parameters.
+void enumerate_instances(
+    const Program& p, const std::map<std::string, i64>& params,
+    const std::function<void(const DynamicInstance&)>& visit);
+
+/// Convenience: collect into a vector.
+std::vector<DynamicInstance> all_instances(
+    const Program& p, const std::map<std::string, i64>& params);
+
+}  // namespace inlt

@@ -1,0 +1,259 @@
+#include "instance/layout.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+namespace {
+
+/// Ancestor loop chains (outermost first) for every loop node.
+void collect_ancestors(const std::vector<NodePtr>& children,
+                       std::vector<const Node*>& chain,
+                       std::map<const Node*, std::vector<const Node*>>& out) {
+  for (const NodePtr& c : children) {
+    if (!c->is_loop()) continue;
+    out[c.get()] = chain;
+    chain.push_back(c.get());
+    collect_ancestors(c->children(), chain, out);
+    chain.pop_back();
+  }
+}
+
+}  // namespace
+
+IvLayout::IvLayout(const Program& p) : program_(&p) {
+  p.validate();
+  build(nullptr, p.roots());
+
+  // Ancestor chains for pad-source resolution.
+  std::map<const Node*, std::vector<const Node*>> ancestors;
+  std::vector<const Node*> chain;
+  collect_ancestors(p.roots(), chain, ancestors);
+
+  // Per-statement info, in syntactic (depth-first, left-to-right) order.
+  int syn = 0;
+  for (const StatementContext& sc : p.statements()) {
+    StmtInfo info;
+    info.stmt = sc.stmt;
+    info.syntactic_index = syn++;
+
+    for (const Node* l : sc.loops) {
+      int pos = -1;
+      for (size_t q = 0; q < positions_.size(); ++q)
+        if (positions_[q].kind == PositionKind::kLoop &&
+            positions_[q].loop == l)
+          pos = static_cast<int>(q);
+      INLT_CHECK(pos >= 0);
+      info.loop_positions.push_back(pos);
+    }
+
+    // Edge positions on the root-to-statement path: reconstruct the
+    // path as (parent, child-index) pairs.
+    std::vector<std::pair<const Node*, int>> path;
+    {
+      // Depth-first search for the statement node.
+      std::function<bool(const Node*, const std::vector<NodePtr>&)> dfs =
+          [&](const Node* parent, const std::vector<NodePtr>& ch) -> bool {
+        for (int i = 0; i < static_cast<int>(ch.size()); ++i) {
+          if (ch[i].get() == sc.stmt) {
+            path.emplace_back(parent, i);
+            return true;
+          }
+          if (ch[i]->is_loop()) {
+            path.emplace_back(parent, i);
+            if (dfs(ch[i].get(), ch[i]->children())) return true;
+            path.pop_back();
+          }
+        }
+        return false;
+      };
+      bool found = dfs(nullptr, p.roots());
+      INLT_CHECK(found);
+    }
+    for (const auto& [parent, idx] : path) {
+      for (size_t q = 0; q < positions_.size(); ++q)
+        if (positions_[q].kind == PositionKind::kEdge &&
+            positions_[q].parent == parent && positions_[q].child_index == idx)
+          info.path_edge_positions.push_back(static_cast<int>(q));
+    }
+
+    // Padded loop positions and their diagonal pad sources.
+    std::vector<const Node*> own(sc.loops.begin(), sc.loops.end());
+    for (size_t q = 0; q < positions_.size(); ++q) {
+      if (positions_[q].kind != PositionKind::kLoop) continue;
+      const Node* l = positions_[q].loop;
+      if (std::find(own.begin(), own.end(), l) != own.end()) continue;
+      info.padded_positions.push_back(static_cast<int>(q));
+      // Nearest labeled ancestor: deepest ancestor of l that encloses
+      // the statement.
+      const std::vector<const Node*>& anc = ancestors.at(l);
+      int src = -1;
+      for (int a = static_cast<int>(anc.size()) - 1; a >= 0 && src < 0; --a)
+        for (size_t k = 0; k < own.size(); ++k)
+          if (own[k] == anc[a]) {
+            src = static_cast<int>(k);
+            break;
+          }
+      info.pad_source.push_back(src);
+    }
+
+    labels_.push_back(sc.label());
+    stmt_info_.emplace(sc.label(), std::move(info));
+  }
+}
+
+void IvLayout::build(const Node* parent, const std::vector<NodePtr>& children) {
+  Segment seg;
+  seg.node = parent;
+  // A loop's own label was pushed by the caller just before build().
+  seg.loop_pos =
+      parent == nullptr ? -1 : static_cast<int>(positions_.size()) - 1;
+  seg.start = parent == nullptr ? 0 : seg.loop_pos;
+
+  int m = static_cast<int>(children.size());
+  seg.child_edge_pos.assign(m, -1);
+  // Single-edge optimization (§2.2): only multi-child nodes contribute
+  // edge positions. Eq. (1) collects edge labels e_m .. e_1.
+  if (m > 1) {
+    for (int c = m - 1; c >= 0; --c) {
+      IvPosition pos;
+      pos.kind = PositionKind::kEdge;
+      pos.parent = parent;
+      pos.child_index = c;
+      std::ostringstream name;
+      name << "e" << (c + 1) << "@" << (parent ? parent->var() : "root");
+      pos.name = name.str();
+      seg.child_edge_pos[c] = static_cast<int>(positions_.size());
+      positions_.push_back(std::move(pos));
+    }
+  }
+  // Subtrees R(n_m) .. R(n_1), right to left per Eq. (1).
+  for (int c = m - 1; c >= 0; --c) {
+    const Node* n = children[c].get();
+    if (!n->is_loop()) continue;
+    IvPosition pos;
+    pos.kind = PositionKind::kLoop;
+    pos.loop = n;
+    pos.name = n->var();
+    positions_.push_back(std::move(pos));
+    build(n, n->children());
+  }
+  seg.end = static_cast<int>(positions_.size());
+  segments_[parent] = std::move(seg);
+}
+
+int IvLayout::loop_position(const std::string& var) const {
+  for (size_t q = 0; q < positions_.size(); ++q)
+    if (positions_[q].kind == PositionKind::kLoop &&
+        positions_[q].loop->var() == var)
+      return static_cast<int>(q);
+  throw Error("no loop named " + var + " in layout");
+}
+
+std::vector<int> IvLayout::all_loop_positions() const {
+  std::vector<int> out;
+  for (size_t q = 0; q < positions_.size(); ++q)
+    if (positions_[q].kind == PositionKind::kLoop)
+      out.push_back(static_cast<int>(q));
+  return out;
+}
+
+const IvLayout::Segment& IvLayout::segment(const Node* node) const {
+  auto it = segments_.find(node);
+  INLT_CHECK_MSG(it != segments_.end(), "node has no layout segment");
+  return it->second;
+}
+
+const IvLayout::StmtInfo& IvLayout::stmt_info(const std::string& label) const {
+  auto it = stmt_info_.find(label);
+  INLT_CHECK_MSG(it != stmt_info_.end(), "unknown statement " + label);
+  return it->second;
+}
+
+IntVec IvLayout::instance_vector(const DynamicInstance& di,
+                                 PadMode pad) const {
+  const StmtInfo& info = stmt_info(di.label);
+  INLT_CHECK_MSG(di.iter.size() == info.loop_positions.size(),
+                 "iteration vector arity mismatch for " + di.label);
+  IntVec v(positions_.size(), 0);
+  for (size_t k = 0; k < info.loop_positions.size(); ++k)
+    v[info.loop_positions[k]] = di.iter[k];
+  for (int e : info.path_edge_positions) v[e] = 1;
+  if (pad == PadMode::kDiagonal) {
+    for (size_t k = 0; k < info.padded_positions.size(); ++k) {
+      int src = info.pad_source[k];
+      i64 val = 0;
+      if (src >= 0)
+        val = di.iter[src];
+      else if (!di.iter.empty())
+        val = di.iter[0];
+      v[info.padded_positions[k]] = val;
+    }
+  }
+  return v;
+}
+
+DynamicInstance IvLayout::invert(const IntVec& iv) const {
+  INLT_CHECK_MSG(static_cast<int>(iv.size()) == size(),
+                 "instance vector has wrong length");
+  DynamicInstance di;
+  const Node* parent = nullptr;
+  const std::vector<NodePtr>* children = &program_->roots();
+  for (;;) {
+    int m = static_cast<int>(children->size());
+    int chosen = 0;
+    if (m > 1) {
+      chosen = -1;
+      for (size_t q = 0; q < positions_.size(); ++q) {
+        const IvPosition& p = positions_[q];
+        if (p.kind != PositionKind::kEdge || p.parent != parent) continue;
+        if (iv[q] == 1) {
+          INLT_CHECK_MSG(chosen < 0,
+                         "instance vector selects multiple children");
+          chosen = p.child_index;
+        } else {
+          INLT_CHECK_MSG(iv[q] == 0, "edge label must be 0 or 1");
+        }
+      }
+      INLT_CHECK_MSG(chosen >= 0, "instance vector selects no child");
+    }
+    const Node* next = (*children)[chosen].get();
+    if (next->is_stmt()) {
+      di.label = next->stmt_data().label;
+      return di;
+    }
+    di.iter.push_back(iv[loop_position(next->var())]);
+    parent = next;
+    children = &next->children();
+  }
+}
+
+std::vector<int> IvLayout::common_loop_positions(const std::string& a,
+                                                 const std::string& b) const {
+  const StmtInfo& ia = stmt_info(a);
+  const StmtInfo& ib = stmt_info(b);
+  // Common loops are the shared prefix of the two loop chains.
+  std::vector<int> out;
+  size_t n = std::min(ia.loop_positions.size(), ib.loop_positions.size());
+  for (size_t k = 0; k < n; ++k) {
+    if (ia.loop_positions[k] != ib.loop_positions[k]) break;
+    out.push_back(ia.loop_positions[k]);
+  }
+  return out;
+}
+
+std::string IvLayout::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t q = 0; q < positions_.size(); ++q) {
+    if (q) os << ", ";
+    os << positions_[q].name;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace inlt

@@ -1,0 +1,141 @@
+// Instance-vector coordinate system (§2).
+//
+// An IvLayout fixes, for one Program, the mapping between dynamic
+// instances and integer instance vectors: which vector position holds
+// which loop's label, which positions are statement-choice edge
+// labels, and how padded positions are filled. It implements the
+// functions L (Definition 3), M (the padding procedure), R (Eq. 1)
+// and L⁻¹ (Definition 5), plus the single-edge optimization of §2.2.
+//
+// Faithfulness note: Eq. (1) collects both edge labels and child
+// subtrees right-to-left. The paper's §6 Cholesky dependence matrix is
+// consistent with that order ([K, e3, e2, e1, J, L, I]); its §4.2
+// distribution/jamming display orders sibling subtrees left-to-right
+// instead. We follow Eq. (1) everywhere and note the §4.2 discrepancy
+// in DESIGN.md.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "linalg/vec.hpp"
+
+namespace inlt {
+
+enum class PositionKind {
+  kLoop,  ///< label of a loop node
+  kEdge,  ///< 0/1 label of an edge to one child of a multi-child node
+};
+
+/// How procedure M fills loop positions that are unlabeled for a given
+/// statement (Definition 4's padded positions).
+enum class PadMode {
+  /// The paper's choice: an unlabeled loop takes the label of its
+  /// nearest labeled ancestor (the 'diagonal embedding'). Loops with no
+  /// labeled ancestor (sibling subtrees of a multi-root program) take
+  /// the statement's outermost loop label, 0 if there is none — the
+  /// convention the paper's §4.2 vectors use.
+  kDiagonal,
+  /// Ablation alternative mentioned in §2: pad with 0.
+  kZero,
+};
+
+struct IvPosition {
+  PositionKind kind = PositionKind::kLoop;
+  const Node* loop = nullptr;    ///< kLoop: the loop node
+  const Node* parent = nullptr;  ///< kEdge: the multi-child node (null = virtual root)
+  int child_index = -1;          ///< kEdge: index of the child this edge reaches
+  std::string name;              ///< "I", or "e2@I" for the edge to child 2 of loop I
+};
+
+/// A dynamic instance named symbolically: statement label + values of
+/// its enclosing loops, outermost first.
+struct DynamicInstance {
+  std::string label;
+  IntVec iter;
+
+  friend bool operator==(const DynamicInstance&,
+                         const DynamicInstance&) = default;
+};
+
+class IvLayout {
+ public:
+  /// Builds the layout; stores pointers into `p`, which must outlive
+  /// the layout.
+  explicit IvLayout(const Program& p);
+
+  int size() const { return static_cast<int>(positions_.size()); }
+  const std::vector<IvPosition>& positions() const { return positions_; }
+  const Program& program() const { return *program_; }
+
+  /// Position index of a loop by variable name; throws if absent.
+  int loop_position(const std::string& var) const;
+
+  /// Position indices of all loop positions, in vector order.
+  std::vector<int> all_loop_positions() const;
+
+  /// Per-statement facts.
+  struct StmtInfo {
+    const Node* stmt = nullptr;
+    int syntactic_index = 0;  ///< rank in the ⪯ₛ depth-first order
+    /// Positions of the statement's enclosing loops, outermost first.
+    std::vector<int> loop_positions;
+    /// Edge positions labeled 1 on the root-to-statement path.
+    std::vector<int> path_edge_positions;
+    /// Loop positions NOT enclosing the statement (Definition 4).
+    std::vector<int> padded_positions;
+    /// For each padded position: index into loop_positions of the pad
+    /// source under diagonal padding, or -1 when the fallback applies
+    /// (no labeled ancestor; pads with loop_positions[0], or 0 if the
+    /// statement has no enclosing loop).
+    std::vector<int> pad_source;
+  };
+
+  const StmtInfo& stmt_info(const std::string& label) const;
+  const std::vector<std::string>& stmt_labels() const { return labels_; }
+
+  /// The contiguous run of positions contributed by one AST node (the
+  /// R(N) of Eq. 1) — the 'block' of Fig 5's block-structure argument.
+  struct Segment {
+    const Node* node = nullptr;  ///< loop node; nullptr = virtual root
+    int start = 0;               ///< first position of the segment
+    int end = 0;                 ///< one past the last position
+    int loop_pos = -1;           ///< position of the node's own label
+    /// Edge position per child index (-1 when the single-edge
+    /// optimization removed it, i.e. the node has one child).
+    std::vector<int> child_edge_pos;
+  };
+
+  /// Segment of a loop node, or of the virtual root (pass nullptr).
+  const Segment& segment(const Node* node) const;
+
+  /// L: instance vector of a dynamic instance (Definition 3).
+  IntVec instance_vector(const DynamicInstance& di,
+                         PadMode pad = PadMode::kDiagonal) const;
+
+  /// L⁻¹: recover the dynamic instance from a vector produced by L
+  /// (Definition 5). Only the statement identity (edge pattern) and the
+  /// statement's own loop positions are consulted; padded entries are
+  /// ignored, as §4.1 requires.
+  DynamicInstance invert(const IntVec& iv) const;
+
+  /// Positions of the loops common to two statements, outermost first
+  /// (the projection target of the legality test, Definition 6).
+  std::vector<int> common_loop_positions(const std::string& a,
+                                         const std::string& b) const;
+
+  std::string to_string() const;
+
+ private:
+  void build(const Node* parent, const std::vector<NodePtr>& children);
+
+  const Program* program_;
+  std::vector<IvPosition> positions_;
+  std::vector<std::string> labels_;           // syntactic order
+  std::map<std::string, StmtInfo> stmt_info_;
+  std::map<const Node*, Segment> segments_;
+};
+
+}  // namespace inlt

@@ -1,0 +1,35 @@
+#include "instance/program_order.hpp"
+
+namespace inlt {
+
+bool syntactically_before(const IvLayout& layout, const std::string& a,
+                          const std::string& b) {
+  return layout.stmt_info(a).syntactic_index <=
+         layout.stmt_info(b).syntactic_index;
+}
+
+int compare_execution_order(const IvLayout& layout, const DynamicInstance& d1,
+                            const DynamicInstance& d2) {
+  const auto& i1 = layout.stmt_info(d1.label);
+  const auto& i2 = layout.stmt_info(d2.label);
+  size_t common = 0;
+  while (common < i1.loop_positions.size() &&
+         common < i2.loop_positions.size() &&
+         i1.loop_positions[common] == i2.loop_positions[common])
+    ++common;
+  for (size_t k = 0; k < common; ++k) {
+    if (d1.iter[k] < d2.iter[k]) return -1;
+    if (d1.iter[k] > d2.iter[k]) return 1;
+  }
+  if (i1.syntactic_index != i2.syntactic_index)
+    return i1.syntactic_index < i2.syntactic_index ? -1 : 1;
+  // Same statement: remaining loop labels decide; equal labels mean
+  // the identical dynamic instance.
+  for (size_t k = common; k < d1.iter.size(); ++k) {
+    if (d1.iter[k] < d2.iter[k]) return -1;
+    if (d1.iter[k] > d2.iter[k]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace inlt

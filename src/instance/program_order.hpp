@@ -1,0 +1,19 @@
+// Program order on dynamic instances (Definitions 1 and 2).
+#pragma once
+
+#include "instance/layout.hpp"
+
+namespace inlt {
+
+/// ⪯ₛ of Definition 1: does statement `a` occur syntactically before
+/// (or equal to) statement `b` in the depth-first AST walk?
+bool syntactically_before(const IvLayout& layout, const std::string& a,
+                          const std::string& b);
+
+/// Definition 2's execution order: -1 if d1 executes before d2, 0 if
+/// they are the same instance, +1 if after. Compares the common-loop
+/// label vectors lexicographically, breaking ties by syntactic order.
+int compare_execution_order(const IvLayout& layout, const DynamicInstance& d1,
+                            const DynamicInstance& d2);
+
+}  // namespace inlt

@@ -1,0 +1,150 @@
+#include "ir/affine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+AffineExpr AffineExpr::variable(const std::string& name) {
+  AffineExpr e;
+  e.terms_[name] = 1;
+  return e;
+}
+
+i64 AffineExpr::coef(const std::string& name) const {
+  auto it = terms_.find(name);
+  return it == terms_.end() ? 0 : it->second;
+}
+
+AffineExpr& AffineExpr::add_term(const std::string& name, i64 coef) {
+  if (coef == 0) return *this;
+  i64 c = checked_add(this->coef(name), coef);
+  if (c == 0)
+    terms_.erase(name);
+  else
+    terms_[name] = c;
+  return *this;
+}
+
+AffineExpr& AffineExpr::add_constant(i64 k) {
+  constant_ = checked_add(constant_, k);
+  return *this;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  AffineExpr r = *this;
+  for (const auto& [n, c] : o.terms_) r.add_term(n, c);
+  r.add_constant(o.constant_);
+  return r;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return *this + (o * -1);
+}
+
+AffineExpr AffineExpr::operator*(i64 s) const {
+  AffineExpr r;
+  if (s == 0) return r;
+  for (const auto& [n, c] : terms_) r.terms_[n] = checked_mul(c, s);
+  r.constant_ = checked_mul(constant_, s);
+  return r;
+}
+
+i64 AffineExpr::eval(const std::map<std::string, i64>& env) const {
+  i64 acc = constant_;
+  for (const auto& [n, c] : terms_) {
+    auto it = env.find(n);
+    INLT_CHECK_MSG(it != env.end(), "unbound variable in eval: " + n);
+    acc = checked_add(acc, checked_mul(c, it->second));
+  }
+  return acc;
+}
+
+AffineExpr AffineExpr::substitute(const std::string& name,
+                                  const AffineExpr& repl) const {
+  auto it = terms_.find(name);
+  if (it == terms_.end()) return *this;
+  i64 c = it->second;
+  AffineExpr r = *this;
+  r.terms_.erase(name);
+  return r + repl * c;
+}
+
+AffineExpr AffineExpr::renamed(const std::string& from,
+                               const std::string& to) const {
+  return substitute(from, AffineExpr::variable(to));
+}
+
+std::string AffineExpr::to_string() const {
+  std::ostringstream os;
+  bool any = false;
+  for (const auto& [n, c] : terms_) {
+    if (any)
+      os << (c > 0 ? " + " : " - ");
+    else if (c < 0)
+      os << "-";
+    i64 mag = c < 0 ? -c : c;
+    if (mag != 1) os << mag << "*";
+    os << n;
+    any = true;
+  }
+  if (constant_ != 0 || !any) {
+    if (any) {
+      os << (constant_ > 0 ? " + " : " - ");
+      os << (constant_ < 0 ? -constant_ : constant_);
+    } else {
+      os << constant_;
+    }
+  }
+  return os.str();
+}
+
+i64 Bound::eval_lower(const std::map<std::string, i64>& env) const {
+  INLT_CHECK_MSG(!terms.empty(), "lower bound with no terms");
+  bool take_max = (mode == Mode::kTight);
+  i64 best = 0;
+  bool first = true;
+  for (const BoundTerm& t : terms) {
+    i64 v = ceil_div(t.expr.eval(env), t.den);
+    best = first ? v : (take_max ? std::max(best, v) : std::min(best, v));
+    first = false;
+  }
+  return best;
+}
+
+i64 Bound::eval_upper(const std::map<std::string, i64>& env) const {
+  INLT_CHECK_MSG(!terms.empty(), "upper bound with no terms");
+  bool take_min = (mode == Mode::kTight);
+  i64 best = 0;
+  bool first = true;
+  for (const BoundTerm& t : terms) {
+    i64 v = floor_div(t.expr.eval(env), t.den);
+    best = first ? v : (take_min ? std::min(best, v) : std::max(best, v));
+    first = false;
+  }
+  return best;
+}
+
+std::string Bound::to_string(bool lower) const {
+  auto render_term = [&](const BoundTerm& t) {
+    if (t.den == 1) return t.expr.to_string();
+    std::ostringstream os;
+    os << (lower ? "ceil(" : "floor(") << t.expr.to_string() << ", " << t.den
+       << ")";
+    return os.str();
+  };
+  if (terms.size() == 1) return render_term(terms[0]);
+  bool render_max = lower == (mode == Mode::kTight);
+  std::ostringstream os;
+  os << (render_max ? "max(" : "min(");
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i) os << ", ";
+    os << render_term(terms[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace inlt

@@ -1,0 +1,109 @@
+// Affine expressions over loop variables and symbolic parameters.
+//
+// Everything the framework manipulates symbolically — loop bounds,
+// array subscripts, singular-loop guards — is an affine function of
+// enclosing loop variables and program parameters (N, M, ...), which is
+// exactly the class of programs the paper's machinery handles.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/checked_int.hpp"
+
+namespace inlt {
+
+/// sum_i coef_i * name_i + constant. Variable names cover both loop
+/// variables and parameters; the Program knows which is which.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  /// Constant expression.
+  explicit AffineExpr(i64 constant) : constant_(constant) {}
+  /// Single variable with coefficient 1.
+  static AffineExpr variable(const std::string& name);
+
+  i64 constant() const { return constant_; }
+  /// Coefficient of a variable (0 if absent).
+  i64 coef(const std::string& name) const;
+  const std::map<std::string, i64>& terms() const { return terms_; }
+
+  bool is_constant() const { return terms_.empty(); }
+  bool is_zero() const { return terms_.empty() && constant_ == 0; }
+
+  AffineExpr& add_term(const std::string& name, i64 coef);
+  AffineExpr& add_constant(i64 k);
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr operator*(i64 s) const;
+  AffineExpr operator-() const { return *this * -1; }
+
+  friend bool operator==(const AffineExpr& a, const AffineExpr& b) = default;
+
+  /// Evaluate with every variable bound in env; throws on a free
+  /// variable.
+  i64 eval(const std::map<std::string, i64>& env) const;
+
+  /// Replace a variable by an expression.
+  AffineExpr substitute(const std::string& name,
+                        const AffineExpr& repl) const;
+
+  /// Rename a variable (no-op if absent).
+  AffineExpr renamed(const std::string& from, const std::string& to) const;
+
+  /// "I + 2*J - 1" rendering; "0" for the zero expression.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, i64> terms_;  // name -> coefficient (nonzero)
+  i64 constant_ = 0;
+};
+
+/// One candidate bound: (expr / den), rounded up (lower bounds) or down
+/// (upper bounds) when den > 1. Source programs always have den == 1;
+/// code generation for non-unimodular transformations produces den > 1.
+struct BoundTerm {
+  AffineExpr expr;
+  i64 den = 1;
+
+  BoundTerm() = default;
+  BoundTerm(AffineExpr e) : expr(std::move(e)) {}  // NOLINT
+  BoundTerm(AffineExpr e, i64 d) : expr(std::move(e)), den(d) {
+    INLT_CHECK(d >= 1);
+  }
+  friend bool operator==(const BoundTerm&, const BoundTerm&) = default;
+};
+
+/// A loop bound. In the usual (tight) mode a lower bound is the max of
+/// its terms and an upper bound the min — the intersection of the
+/// constraints. Code generation for loops shared by statements with
+/// different iteration ranges emits cover-mode bounds: the lower bound
+/// is the MIN of the statements' lowers (and upper the MAX), a superset
+/// of the union; per-statement guards then restore exactness (§5.5).
+struct Bound {
+  enum class Mode { kTight, kCover };
+
+  std::vector<BoundTerm> terms;
+  Mode mode = Mode::kTight;
+
+  Bound() = default;
+  Bound(AffineExpr e) { terms.emplace_back(std::move(e)); }  // NOLINT
+  explicit Bound(std::vector<BoundTerm> t, Mode mo = Mode::kTight)
+      : terms(std::move(t)), mode(mo) {}
+
+  bool single() const { return terms.size() == 1; }
+  friend bool operator==(const Bound&, const Bound&) = default;
+
+  /// Evaluate as a lower bound: max (tight) / min (cover) over
+  /// ceil(expr/den).
+  i64 eval_lower(const std::map<std::string, i64>& env) const;
+  /// Evaluate as an upper bound: min (tight) / max (cover) over
+  /// floor(expr/den).
+  i64 eval_upper(const std::map<std::string, i64>& env) const;
+
+  std::string to_string(bool lower) const;
+};
+
+}  // namespace inlt

@@ -1,0 +1,102 @@
+#include "ir/gallery.hpp"
+
+#include "ir/parser.hpp"
+
+namespace inlt::gallery {
+
+Program fig1_running_example() {
+  return parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: X(I, J) = f()
+    S2: Y(I, J) = g()
+  end
+  S3: Z(I) = h()
+end
+)");
+}
+
+Program simplified_cholesky() {
+  return parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = sqrt(A(I))
+  do J = I + 1, N
+    S2: A(J) = A(J) / A(I)
+  end
+end
+)");
+}
+
+Program fig3_perfect_nest() {
+  return parse_program(R"(
+param N
+do I = 1, N
+  do J = I + 1, N
+    S1: A(J) = A(J) / A(I)
+  end
+end
+)");
+}
+
+Program augmentation_example() {
+  return parse_program(R"(
+param N
+do I = 1, N
+  S1: B(I) = B(I - 1) + A(I - 1, I + 1)
+  do J = I, N
+    S2: A(I, J) = f()
+  end
+end
+)");
+}
+
+Program cholesky() {
+  return parse_program(R"(
+param N
+do K = 1, N
+  S1: A(K, K) = sqrt(A(K, K))
+  do I = K + 1, N
+    S2: A(I, K) = A(I, K) / A(K, K)
+  end
+  do J = K + 1, N
+    do L = K + 1, J
+      S3: A(J, L) = A(J, L) - A(J, K) * A(L, K)
+    end
+  end
+end
+)");
+}
+
+Program simplified_cholesky_distributed() {
+  return parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = sqrt(A(I))
+end
+do I2 = 1, N
+  do J = I2 + 1, N
+    S2: A(J) = A(J) / A(I2)
+  end
+end
+)");
+}
+
+Program lu() {
+  return parse_program(R"(
+param N
+do K = 1, N
+  do I = K + 1, N
+    S1: A(I, K) = A(I, K) / A(K, K)
+  end
+  do J = K + 1, N
+    do L = K + 1, N
+      S2: A(J, L) = A(J, L) - A(J, K) * A(K, L)
+    end
+  end
+end
+)");
+}
+
+}  // namespace inlt::gallery

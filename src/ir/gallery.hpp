@@ -1,0 +1,69 @@
+// The paper's running examples, as ready-made Programs.
+//
+// Tests, examples and benchmarks all operate on these; each function
+// documents which section of the paper the code comes from.
+#pragma once
+
+#include "ir/ast.hpp"
+
+namespace inlt::gallery {
+
+/// §2.1 running example (Fig 1): two statements in an inner loop plus
+/// a trailing statement in the outer loop. The paper's bounds are the
+/// symbolic f(I)..g(I); dependence analysis is never run on this
+/// program, so we use J = 1..N (the instance-vector math only needs
+/// the AST shape).
+///
+///   do I = 1..N { do J = 1..N { S1; S2 }  S3 }
+Program fig1_running_example();
+
+/// §3 simplified Cholesky (also §4's running example):
+///
+///   do I = 1..N
+///     S1: A(I) = sqrt(A(I))
+///     do J = I+1..N
+///       S2: A(J) = A(J) / A(I)
+Program simplified_cholesky();
+
+/// Fig 3's perfectly nested loop:
+///
+///   do I = 1..N
+///     do J = I+1..N
+///       S1: A(J) = A(J) / A(I)
+Program fig3_perfect_nest();
+
+/// §5.4 augmentation example:
+///
+///   do I = 1..N
+///     S1: B(I) = B(I-1) + A(I-1, I+1)
+///     do J = I..N
+///       S2: A(I,J) = f()
+Program augmentation_example();
+
+/// §6 full Cholesky factorization (right-looking, kij form):
+///
+///   do K = 1..N
+///     S1: A(K,K) = sqrt(A(K,K))
+///     do I = K+1..N
+///       S2: A(I,K) = A(I,K) / A(K,K)
+///     do J = K+1..N
+///       do L = K+1..J
+///         S3: A(J,L) = A(J,L) - A(J,K)*A(L,K)
+Program cholesky();
+
+/// §4.2 simplified Cholesky after loop distribution: two top-level
+/// loops.
+Program simplified_cholesky_distributed();
+
+/// LU factorization without pivoting (right-looking, kij form) — the
+/// other classical "matrix factorization code" of §1:
+///
+///   do K = 1..N
+///     do I = K+1..N
+///       S1: A(I,K) = A(I,K) / A(K,K)
+///     do J = K+1..N
+///       do L = K+1..N
+///         S2: A(J,L) = A(J,L) - A(J,K)*A(K,L)
+Program lu();
+
+}  // namespace inlt::gallery

@@ -1,0 +1,465 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+namespace {
+
+enum class Tok {
+  kIdent,
+  kInt,
+  kFloat,
+  kSym,  // single-char symbol or "=="
+  kEnd,  // end of input
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  i64 int_val = 0;
+  double float_val = 0.0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "parse error at line " << cur_.line << ": " << msg;
+    if (cur_.kind != Tok::kEnd) os << " (near '" << cur_.text << "')";
+    throw InvalidProgramError(os.str());
+  }
+
+  /// Save/restore for backtracking (array-ref vs function-call
+  /// disambiguation).
+  struct State {
+    size_t pos;
+    int line;
+    Token cur;
+  };
+  State save() const { return {pos_, line_, cur_}; }
+  void restore(const State& s) {
+    pos_ = s.pos;
+    line_ = s.line;
+    cur_ = s.cur;
+  }
+
+ private:
+  void advance() {
+    // Skip whitespace and ! comments.
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '!') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+    cur_.line = line_;
+    if (pos_ >= src_.size()) {
+      cur_.kind = Tok::kEnd;
+      cur_.text.clear();
+      return;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      cur_.kind = Tok::kIdent;
+      cur_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+      bool is_float = false;
+      if (pos_ < src_.size() && src_[pos_] == '.') {
+        is_float = true;
+        ++pos_;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_])))
+          ++pos_;
+      }
+      cur_.text = src_.substr(start, pos_ - start);
+      if (is_float) {
+        cur_.kind = Tok::kFloat;
+        cur_.float_val = std::stod(cur_.text);
+      } else {
+        cur_.kind = Tok::kInt;
+        cur_.int_val = std::stoll(cur_.text);
+      }
+      return;
+    }
+    if (c == '=' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '=') {
+      cur_.kind = Tok::kSym;
+      cur_.text = "==";
+      pos_ += 2;
+      return;
+    }
+    if (c == '>' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '=') {
+      cur_.kind = Tok::kSym;
+      cur_.text = ">=";
+      pos_ += 2;
+      return;
+    }
+    cur_.kind = Tok::kSym;
+    cur_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lx_(src) {}
+
+  Program parse() {
+    Program p;
+    while (accept_ident("param")) p.add_param(expect_ident());
+    while (lx_.peek().kind != Tok::kEnd) p.add_root(parse_node());
+    p.validate();
+    return p;
+  }
+
+  AffineExpr parse_affine_only() {
+    AffineExpr e = parse_affine();
+    if (lx_.peek().kind != Tok::kEnd) lx_.fail("trailing input");
+    return e;
+  }
+
+ private:
+  bool peek_ident(const std::string& kw) const {
+    return lx_.peek().kind == Tok::kIdent && lx_.peek().text == kw;
+  }
+  bool peek_sym(const std::string& s) const {
+    return lx_.peek().kind == Tok::kSym && lx_.peek().text == s;
+  }
+  bool accept_ident(const std::string& kw) {
+    if (!peek_ident(kw)) return false;
+    lx_.next();
+    return true;
+  }
+  bool accept_sym(const std::string& s) {
+    if (!peek_sym(s)) return false;
+    lx_.next();
+    return true;
+  }
+  void expect_sym(const std::string& s) {
+    if (!accept_sym(s)) lx_.fail("expected '" + s + "'");
+  }
+  std::string expect_ident() {
+    if (lx_.peek().kind != Tok::kIdent) lx_.fail("expected identifier");
+    return lx_.next().text;
+  }
+  i64 expect_int() {
+    bool neg = accept_sym("-");
+    if (lx_.peek().kind != Tok::kInt) lx_.fail("expected integer");
+    i64 v = lx_.next().int_val;
+    return neg ? -v : v;
+  }
+
+  NodePtr parse_node() {
+    if (peek_ident("do")) return parse_loop();
+    if (peek_ident("if")) return parse_guarded();
+    return parse_stmt();
+  }
+
+  NodePtr parse_loop() {
+    accept_ident("do");
+    std::string var = expect_ident();
+    expect_sym("=");
+    Bound lower = parse_bound(/*lower=*/true);
+    expect_sym(",");
+    Bound upper = parse_bound(/*lower=*/false);
+    i64 step = 1;
+    if (accept_sym(",")) step = expect_int();
+    NodePtr loop = Node::loop(std::move(var), std::move(lower),
+                              std::move(upper), step);
+    while (!peek_ident("end")) {
+      if (lx_.peek().kind == Tok::kEnd) lx_.fail("missing 'end'");
+      loop->add_child(parse_node());
+    }
+    accept_ident("end");
+    return loop;
+  }
+
+  NodePtr parse_guarded() {
+    accept_ident("if");
+    expect_sym("(");
+    Guard g = parse_guard_cond();
+    expect_sym(")");
+    NodePtr inner = parse_node();
+    if (!accept_ident("endif")) lx_.fail("missing 'endif'");
+    // Guards are conjunctive; evaluation order is irrelevant.
+    inner->add_guard(std::move(g));
+    return inner;
+  }
+
+  Guard parse_guard_cond() {
+    // Forms:  <affine> == 0     |    ( <affine> ) mod <int> == 0
+    if (accept_sym("(")) {
+      AffineExpr e = parse_affine();
+      expect_sym(")");
+      if (accept_ident("mod")) {
+        i64 m = expect_int();
+        expect_sym("==");
+        i64 z = expect_int();
+        if (z != 0) lx_.fail("mod guard must compare to 0");
+        Guard g;
+        g.kind = Guard::Kind::kDivisible;
+        g.expr = std::move(e);
+        g.modulus = m;
+        return g;
+      }
+      bool ge = peek_sym(">=");
+      if (ge)
+        accept_sym(">=");
+      else
+        expect_sym("==");
+      i64 rhs = expect_int();
+      Guard g;
+      g.kind = ge ? Guard::Kind::kGeZero : Guard::Kind::kEqZero;
+      g.expr = std::move(e);
+      g.expr.add_constant(-rhs);
+      return g;
+    }
+    AffineExpr e = parse_affine();
+    bool ge = peek_sym(">=");
+    if (ge)
+      accept_sym(">=");
+    else
+      expect_sym("==");
+    i64 rhs = expect_int();
+    Guard g;
+    g.kind = ge ? Guard::Kind::kGeZero : Guard::Kind::kEqZero;
+    g.expr = std::move(e);
+    g.expr.add_constant(-rhs);
+    return g;
+  }
+
+  Bound parse_bound(bool lower) {
+    // max(..) on a lower bound (or min on an upper) is a tight bound;
+    // the swapped combinator is a cover-mode bound (see Bound::Mode).
+    bool tight_kw = (lower && peek_ident("max")) || (!lower && peek_ident("min"));
+    bool cover_kw = (lower && peek_ident("min")) || (!lower && peek_ident("max"));
+    if (tight_kw || cover_kw) {
+      lx_.next();
+      expect_sym("(");
+      std::vector<BoundTerm> terms;
+      terms.push_back(parse_bound_term(lower));
+      while (accept_sym(",")) terms.push_back(parse_bound_term(lower));
+      expect_sym(")");
+      return Bound(std::move(terms),
+                   tight_kw ? Bound::Mode::kTight : Bound::Mode::kCover);
+    }
+    return Bound(std::vector<BoundTerm>{parse_bound_term(lower)});
+  }
+
+  BoundTerm parse_bound_term(bool lower) {
+    if ((lower && peek_ident("ceil")) || (!lower && peek_ident("floor"))) {
+      lx_.next();
+      expect_sym("(");
+      AffineExpr e = parse_affine();
+      expect_sym(",");
+      i64 d = expect_int();
+      expect_sym(")");
+      return BoundTerm(std::move(e), d);
+    }
+    return BoundTerm(parse_affine());
+  }
+
+  AffineExpr parse_affine() {
+    AffineExpr e;
+    bool neg = accept_sym("-");
+    e = parse_affine_term(neg);
+    for (;;) {
+      if (accept_sym("+"))
+        e = e + parse_affine_term(false);
+      else if (accept_sym("-"))
+        e = e + parse_affine_term(true);
+      else
+        break;
+    }
+    return e;
+  }
+
+  AffineExpr parse_affine_term(bool neg) {
+    i64 sign = neg ? -1 : 1;
+    if (lx_.peek().kind == Tok::kInt) {
+      i64 v = lx_.next().int_val;
+      if (accept_sym("*")) {
+        if (accept_sym("(")) {
+          AffineExpr inner = parse_affine();
+          expect_sym(")");
+          return inner * checked_mul(sign, v);
+        }
+        std::string var = expect_ident();
+        AffineExpr e;
+        e.add_term(var, checked_mul(sign, v));
+        return e;
+      }
+      return AffineExpr(checked_mul(sign, v));
+    }
+    if (accept_sym("(")) {
+      AffineExpr inner = parse_affine();
+      expect_sym(")");
+      return inner * sign;
+    }
+    std::string var = expect_ident();
+    if (accept_sym("*")) {
+      i64 v = expect_int();
+      AffineExpr e;
+      e.add_term(var, checked_mul(sign, v));
+      return e;
+    }
+    AffineExpr e;
+    e.add_term(var, sign);
+    return e;
+  }
+
+  NodePtr parse_stmt() {
+    std::string label = expect_ident();
+    expect_sym(":");
+    std::string array = expect_ident();
+    expect_sym("(");
+    std::vector<AffineExpr> subs;
+    if (!peek_sym(")")) {
+      subs.push_back(parse_affine());
+      while (accept_sym(",")) subs.push_back(parse_affine());
+    }
+    expect_sym(")");
+    expect_sym("=");
+    ScalarExprPtr rhs = parse_scalar_expr();
+    Statement s;
+    s.label = std::move(label);
+    s.lhs_array = std::move(array);
+    s.lhs_subscripts = std::move(subs);
+    s.rhs = std::move(rhs);
+    return Node::stmt(std::move(s));
+  }
+
+  ScalarExprPtr parse_scalar_expr() {
+    ScalarExprPtr e = parse_scalar_term();
+    for (;;) {
+      if (accept_sym("+"))
+        e = ScalarExpr::binary(ScalarOp::kAdd, std::move(e),
+                               parse_scalar_term());
+      else if (accept_sym("-"))
+        e = ScalarExpr::binary(ScalarOp::kSub, std::move(e),
+                               parse_scalar_term());
+      else
+        break;
+    }
+    return e;
+  }
+
+  ScalarExprPtr parse_scalar_term() {
+    ScalarExprPtr e = parse_scalar_factor();
+    for (;;) {
+      if (accept_sym("*"))
+        e = ScalarExpr::binary(ScalarOp::kMul, std::move(e),
+                               parse_scalar_factor());
+      else if (accept_sym("/"))
+        e = ScalarExpr::binary(ScalarOp::kDiv, std::move(e),
+                               parse_scalar_factor());
+      else
+        break;
+    }
+    return e;
+  }
+
+  ScalarExprPtr parse_scalar_factor() {
+    if (accept_sym("-"))
+      return ScalarExpr::unary(ScalarOp::kNeg, parse_scalar_factor());
+    if (lx_.peek().kind == Tok::kInt) {
+      Token t = lx_.next();
+      return ScalarExpr::number(static_cast<double>(t.int_val));
+    }
+    if (lx_.peek().kind == Tok::kFloat)
+      return ScalarExpr::number(lx_.next().float_val);
+    if (accept_sym("(")) {
+      ScalarExprPtr e = parse_scalar_expr();
+      expect_sym(")");
+      return e;
+    }
+    if (peek_ident("sqrt")) {
+      lx_.next();
+      expect_sym("(");
+      ScalarExprPtr a = parse_scalar_expr();
+      expect_sym(")");
+      return ScalarExpr::unary(ScalarOp::kSqrt, std::move(a));
+    }
+    std::string name = expect_ident();
+    if (!peek_sym("(")) return ScalarExpr::var(std::move(name));
+
+    // name(...) — array reference if every argument parses as an
+    // affine expression, otherwise a function call. Zero arguments is
+    // always a function call (f()).
+    Lexer::State mark = lx_.save();
+    accept_sym("(");
+    if (accept_sym(")"))
+      return ScalarExpr::func(std::move(name), {});
+    std::vector<AffineExpr> subs;
+    bool affine_ok = true;
+    try {
+      subs.push_back(parse_affine());
+      while (accept_sym(",")) subs.push_back(parse_affine());
+      if (!accept_sym(")")) affine_ok = false;
+    } catch (const InvalidProgramError&) {
+      affine_ok = false;
+    }
+    if (affine_ok)
+      return ScalarExpr::array(std::move(name), std::move(subs));
+
+    // Re-parse as a function call with scalar arguments.
+    lx_.restore(mark);
+    accept_sym("(");
+    std::vector<ScalarExprPtr> args;
+    args.push_back(parse_scalar_expr());
+    while (accept_sym(",")) args.push_back(parse_scalar_expr());
+    expect_sym(")");
+    return ScalarExpr::func(std::move(name), std::move(args));
+  }
+
+  Lexer lx_;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(source).parse();
+}
+
+AffineExpr parse_affine(const std::string& source) {
+  return Parser(source).parse_affine_only();
+}
+
+}  // namespace inlt

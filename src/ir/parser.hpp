@@ -1,0 +1,33 @@
+// Parser for the inlt mini-language.
+//
+// The paper's implementation target was the Polaris Fortran test-bed;
+// our stand-in front end is a small loop language covering exactly the
+// program class the framework handles — imperfect nests of do-loops
+// with affine bounds and affine array subscripts:
+//
+//   param N
+//   do I = 1, N
+//     S1: A(I) = sqrt(A(I))
+//     do J = I + 1, N
+//       S2: A(J) = A(J) / A(I)
+//     end
+//   end
+//
+// Generated programs (with max/min/ceil/floor bounds and `if` guards,
+// as produced by the printer) parse too, so print → parse round-trips.
+#pragma once
+
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace inlt {
+
+/// Parse a program; throws InvalidProgramError with a line number on
+/// syntax errors. The result has been validate()d.
+Program parse_program(const std::string& source);
+
+/// Parse a single affine expression, e.g. "2*I - J + 1".
+AffineExpr parse_affine(const std::string& source);
+
+}  // namespace inlt

@@ -1,0 +1,60 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace inlt {
+
+namespace {
+
+void indent_to(std::ostringstream& os, int n) {
+  for (int i = 0; i < n; ++i) os << "  ";
+}
+
+void print_rec(std::ostringstream& os, const Node& n, int indent) {
+  int body_indent = indent;
+  for (const Guard& g : n.guards()) {
+    indent_to(os, body_indent);
+    os << "if (" << g.to_string() << ")\n";
+    ++body_indent;
+  }
+  if (n.is_stmt()) {
+    const Statement& s = n.stmt_data();
+    indent_to(os, body_indent);
+    os << s.label << ": " << s.lhs_array << "(";
+    for (size_t i = 0; i < s.lhs_subscripts.size(); ++i) {
+      if (i) os << ", ";
+      os << s.lhs_subscripts[i].to_string();
+    }
+    os << ") = " << (s.rhs ? s.rhs->to_string() : "0") << "\n";
+  } else {
+    indent_to(os, body_indent);
+    os << "do " << n.var() << " = " << n.lower().to_string(/*lower=*/true)
+       << ", " << n.upper().to_string(/*lower=*/false);
+    if (n.step() != 1) os << ", " << n.step();
+    os << "\n";
+    for (const NodePtr& c : n.children()) print_rec(os, *c, body_indent + 1);
+    indent_to(os, body_indent);
+    os << "end\n";
+  }
+  for (int i = static_cast<int>(n.guards().size()); i > 0; --i) {
+    indent_to(os, indent + i - 1);
+    os << "endif\n";
+  }
+}
+
+}  // namespace
+
+std::string print_node(const Node& n, int indent) {
+  std::ostringstream os;
+  print_rec(os, n, indent);
+  return os.str();
+}
+
+std::string print_program(const Program& p) {
+  std::ostringstream os;
+  for (const std::string& param : p.params()) os << "param " << param << "\n";
+  for (const NodePtr& r : p.roots()) os << print_node(*r, 0);
+  return os.str();
+}
+
+}  // namespace inlt

@@ -1,0 +1,18 @@
+// Pretty printer: renders a Program in the mini-language accepted by
+// the parser (guards render as `if (...)` wrappers, which the parser
+// also accepts, so print → parse round-trips).
+#pragma once
+
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace inlt {
+
+/// Render the whole program.
+std::string print_program(const Program& p);
+
+/// Render a single node subtree at the given indent level.
+std::string print_node(const Node& n, int indent = 0);
+
+}  // namespace inlt

@@ -1,0 +1,165 @@
+#include "ir/scalar.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+ScalarExprPtr ScalarExpr::number(double v) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = ScalarOp::kConst;
+  e->constant = v;
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::var(std::string var_name) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = ScalarOp::kVar;
+  e->name = std::move(var_name);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::affine(AffineExpr e) {
+  auto r = std::make_unique<ScalarExpr>();
+  r->op = ScalarOp::kAffine;
+  r->subscripts.push_back(std::move(e));
+  return r;
+}
+
+ScalarExprPtr ScalarExpr::array(std::string array_name,
+                                std::vector<AffineExpr> subs) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = ScalarOp::kArrayRef;
+  e->name = std::move(array_name);
+  e->subscripts = std::move(subs);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::binary(ScalarOp op, ScalarExprPtr l,
+                                 ScalarExprPtr r) {
+  INLT_CHECK(op == ScalarOp::kAdd || op == ScalarOp::kSub ||
+             op == ScalarOp::kMul || op == ScalarOp::kDiv);
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::unary(ScalarOp op, ScalarExprPtr a) {
+  INLT_CHECK(op == ScalarOp::kNeg || op == ScalarOp::kSqrt);
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = op;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::func(std::string fn,
+                               std::vector<ScalarExprPtr> as) {
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = ScalarOp::kFunc;
+  e->name = std::move(fn);
+  e->args = std::move(as);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::clone() const {
+  auto e = std::make_unique<ScalarExpr>();
+  e->op = op;
+  e->constant = constant;
+  e->name = name;
+  e->subscripts = subscripts;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+void ScalarExpr::rename_var(const std::string& from, const std::string& to) {
+  if (op == ScalarOp::kVar && name == from) name = to;
+  for (AffineExpr& s : subscripts) s = s.renamed(from, to);
+  for (auto& a : args) a->rename_var(from, to);
+}
+
+void ScalarExpr::substitute_var(const std::string& vname,
+                                const AffineExpr& repl) {
+  if (op == ScalarOp::kVar && name == vname) {
+    op = ScalarOp::kAffine;
+    name.clear();
+    subscripts.clear();
+    subscripts.push_back(repl);
+    return;
+  }
+  for (AffineExpr& s : subscripts) s = s.substitute(vname, repl);
+  for (auto& a : args) a->substitute_var(vname, repl);
+}
+
+std::string ScalarExpr::to_string() const {
+  std::ostringstream os;
+  switch (op) {
+    case ScalarOp::kConst:
+      os << constant;
+      break;
+    case ScalarOp::kArrayRef: {
+      os << name << "(";
+      for (size_t i = 0; i < subscripts.size(); ++i) {
+        if (i) os << ", ";
+        os << subscripts[i].to_string();
+      }
+      os << ")";
+      break;
+    }
+    case ScalarOp::kAdd:
+    case ScalarOp::kSub:
+    case ScalarOp::kMul:
+    case ScalarOp::kDiv: {
+      const char* sym = op == ScalarOp::kAdd   ? " + "
+                        : op == ScalarOp::kSub ? " - "
+                        : op == ScalarOp::kMul ? " * "
+                                               : " / ";
+      os << "(" << args[0]->to_string() << sym << args[1]->to_string() << ")";
+      break;
+    }
+    case ScalarOp::kNeg:
+      os << "(-" << args[0]->to_string() << ")";
+      break;
+    case ScalarOp::kSqrt:
+      os << "sqrt(" << args[0]->to_string() << ")";
+      break;
+    case ScalarOp::kVar:
+      os << name;
+      break;
+    case ScalarOp::kAffine:
+      os << "(" << subscripts[0].to_string() << ")";
+      break;
+    case ScalarOp::kFunc: {
+      os << name << "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        os << args[i]->to_string();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string ArrayAccess::to_string() const {
+  std::ostringstream os;
+  os << (is_write ? "W " : "R ") << array << "(";
+  for (size_t i = 0; i < subscripts.size(); ++i) {
+    if (i) os << ", ";
+    os << subscripts[i].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+void collect_reads(const ScalarExpr& e, std::vector<ArrayAccess>& out) {
+  if (e.op == ScalarOp::kArrayRef)
+    out.push_back({e.name, e.subscripts, /*is_write=*/false});
+  for (const auto& a : e.args) collect_reads(*a, out);
+}
+
+}  // namespace inlt

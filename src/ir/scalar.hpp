@@ -1,0 +1,83 @@
+// Statement-body expression trees.
+//
+// The paper treats assignment statements as atomic; we additionally
+// record their arithmetic so the interpreter (src/exec) can execute
+// source and transformed programs and verify they compute identical
+// array states. Array subscripts are affine in enclosing loop
+// variables and parameters — the class of programs the framework
+// covers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+
+namespace inlt {
+
+enum class ScalarOp {
+  kConst,     ///< double literal
+  kArrayRef,  ///< A(e1, ..., ek) with affine subscripts
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kSqrt,
+  kVar,     ///< a loop variable or parameter used as a value
+  kAffine,  ///< an affine expression used as a value (subscripts[0]);
+            ///< produced by code generation when a source loop
+            ///< variable is rewritten in terms of target loops
+  kFunc,  ///< uninterpreted pure function; the interpreter supplies a
+          ///< deterministic value from the function name, evaluated
+          ///< arguments and the current loop environment
+};
+
+struct ScalarExpr;
+using ScalarExprPtr = std::unique_ptr<ScalarExpr>;
+
+struct ScalarExpr {
+  ScalarOp op = ScalarOp::kConst;
+  double constant = 0.0;                ///< kConst
+  std::string name;                     ///< array (kArrayRef) or function (kFunc)
+  std::vector<AffineExpr> subscripts;   ///< kArrayRef
+  std::vector<ScalarExprPtr> args;      ///< operands / call arguments
+
+  ScalarExpr() = default;
+
+  static ScalarExprPtr number(double v);
+  static ScalarExprPtr var(std::string var_name);
+  static ScalarExprPtr affine(AffineExpr e);
+  static ScalarExprPtr array(std::string array_name,
+                             std::vector<AffineExpr> subs);
+  static ScalarExprPtr binary(ScalarOp op, ScalarExprPtr l, ScalarExprPtr r);
+  static ScalarExprPtr unary(ScalarOp op, ScalarExprPtr a);
+  static ScalarExprPtr func(std::string fn, std::vector<ScalarExprPtr> as);
+
+  ScalarExprPtr clone() const;
+
+  /// Rename a loop variable everywhere in subscripts (recursively).
+  void rename_var(const std::string& from, const std::string& to);
+
+  /// Replace a loop variable by an affine expression everywhere:
+  /// subscripts substitute directly; kVar references become kAffine.
+  void substitute_var(const std::string& name, const AffineExpr& repl);
+
+  std::string to_string() const;
+};
+
+/// One array reference with its access direction; the unit of
+/// dependence analysis (§3).
+struct ArrayAccess {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+  bool is_write = false;
+
+  std::string to_string() const;
+};
+
+/// Collect every array read inside an expression tree.
+void collect_reads(const ScalarExpr& e, std::vector<ArrayAccess>& out);
+
+}  // namespace inlt

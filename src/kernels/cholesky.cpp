@@ -1,0 +1,94 @@
+#include "kernels/cholesky.hpp"
+
+#include <cmath>
+
+namespace inlt::kernels {
+
+void cholesky_kij(Matrix& a, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k * n + k] = std::sqrt(a[k * n + k]);
+    double piv = a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) a[i * n + k] /= piv;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double aik = a[i * n + k];
+      for (std::size_t j = k + 1; j <= i; ++j)
+        a[i * n + j] -= aik * a[j * n + k];
+    }
+  }
+}
+
+void cholesky_kji(Matrix& a, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k * n + k] = std::sqrt(a[k * n + k]);
+    double piv = a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) a[i * n + k] /= piv;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double ajk = a[j * n + k];
+      for (std::size_t i = j; i < n; ++i)
+        a[i * n + j] -= a[i * n + k] * ajk;
+    }
+  }
+}
+
+void cholesky_jki(Matrix& a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double ajk = a[j * n + k];
+      for (std::size_t i = j; i < n; ++i)
+        a[i * n + j] -= a[i * n + k] * ajk;
+    }
+    a[j * n + j] = std::sqrt(a[j * n + j]);
+    double piv = a[j * n + j];
+    for (std::size_t i = j + 1; i < n; ++i) a[i * n + j] /= piv;
+  }
+}
+
+void cholesky_jik(Matrix& a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k)
+        acc -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = acc;
+    }
+    a[j * n + j] = std::sqrt(a[j * n + j]);
+    double piv = a[j * n + j];
+    for (std::size_t i = j + 1; i < n; ++i) a[i * n + j] /= piv;
+  }
+}
+
+void cholesky_ijk(Matrix& a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k)
+        acc -= a[i * n + k] * a[j * n + k];
+      if (j == i)
+        a[i * n + i] = std::sqrt(acc);
+      else
+        a[i * n + j] = acc / a[j * n + j];
+    }
+  }
+}
+
+void cholesky_ikj(Matrix& a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) {
+      a[i * n + k] /= a[k * n + k];
+      double aik = a[i * n + k];
+      for (std::size_t j = k + 1; j <= i; ++j)
+        a[i * n + j] -= aik * a[j * n + k];
+    }
+    a[i * n + i] = std::sqrt(a[i * n + i]);
+  }
+}
+
+const std::vector<CholeskyVariant>& cholesky_variants() {
+  static const std::vector<CholeskyVariant> v = {
+      {"kij", cholesky_kij}, {"kji", cholesky_kji}, {"jki", cholesky_jki},
+      {"jik", cholesky_jik}, {"ijk", cholesky_ijk}, {"ikj", cholesky_ikj},
+  };
+  return v;
+}
+
+}  // namespace inlt::kernels

@@ -1,0 +1,45 @@
+// The six loop orderings of dense Cholesky factorization (C2/C3).
+//
+// §1 motivates the framework with exactly this family: "All six
+// permutations of these three loops compute the same result, but their
+// performance, even on sequential machines, can be quite different."
+// Each function factors the lower triangle of a row-major SPD matrix
+// in place (A -> L with A = L L^T); the strict upper triangle is left
+// untouched. Names follow the classical (outer, middle, inner) index
+// convention with k the reduction index, j the column and i the row.
+#pragma once
+
+#include "kernels/util.hpp"
+
+namespace inlt::kernels {
+
+/// kij: right-looking, row-order trailing update (the paper's §6
+/// source code shape: S3 runs j (rows) outer, l (columns) inner).
+void cholesky_kij(Matrix& a, std::size_t n);
+
+/// kji: right-looking, column-order trailing update.
+void cholesky_kji(Matrix& a, std::size_t n);
+
+/// jki: left-looking by columns (the §6 completion target, Fig 8).
+void cholesky_jki(Matrix& a, std::size_t n);
+
+/// jik: left-looking with inner-product innermost loop.
+void cholesky_jik(Matrix& a, std::size_t n);
+
+/// ijk: bordered / row-oriented with inner products.
+void cholesky_ijk(Matrix& a, std::size_t n);
+
+/// ikj: bordered / row-oriented with row-sweep updates.
+void cholesky_ikj(Matrix& a, std::size_t n);
+
+using CholeskyFn = void (*)(Matrix&, std::size_t);
+
+struct CholeskyVariant {
+  const char* name;
+  CholeskyFn fn;
+};
+
+/// All six variants, in {kij, kji, jki, jik, ijk, ikj} order.
+const std::vector<CholeskyVariant>& cholesky_variants();
+
+}  // namespace inlt::kernels

@@ -1,0 +1,62 @@
+#include "kernels/lu.hpp"
+
+namespace inlt::kernels {
+
+void lu_kij(Matrix& a, std::size_t n) {
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    double piv = a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a[i * n + k] /= piv;
+      double lik = a[i * n + k];
+      for (std::size_t j = k + 1; j < n; ++j)
+        a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+}
+
+void lu_kji(Matrix& a, std::size_t n) {
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    double piv = a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) a[i * n + k] /= piv;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double akj = a[k * n + j];
+      for (std::size_t i = k + 1; i < n; ++i)
+        a[i * n + j] -= a[i * n + k] * akj;
+    }
+  }
+}
+
+void lu_jki(Matrix& a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double akj = a[k * n + j];
+      for (std::size_t i = k + 1; i < n; ++i)
+        a[i * n + j] -= a[i * n + k] * akj;
+    }
+    double piv = a[j * n + j];
+    for (std::size_t i = j + 1; i < n; ++i) a[i * n + j] /= piv;
+  }
+}
+
+void lu_ikj(Matrix& a, std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) {
+      a[i * n + k] /= a[k * n + k];
+      double lik = a[i * n + k];
+      for (std::size_t j = k + 1; j < n; ++j)
+        a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+}
+
+const std::vector<LuVariant>& lu_variants() {
+  static const std::vector<LuVariant> v = {
+      {"kij", lu_kij},
+      {"kji", lu_kji},
+      {"jki", lu_jki},
+      {"ikj", lu_ikj},
+  };
+  return v;
+}
+
+}  // namespace inlt::kernels

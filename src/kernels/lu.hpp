@@ -1,0 +1,35 @@
+// LU factorization (no pivoting) loop orderings.
+//
+// §1 names "matrix factorization codes" generally as the motivating
+// imperfect nests; LU is the second classical member. Each function
+// overwrites A with L (unit lower, stored without the diagonal) and U
+// (upper including diagonal). Inputs must be factorizable without
+// pivoting (make_dd produces such matrices).
+#pragma once
+
+#include "kernels/util.hpp"
+
+namespace inlt::kernels {
+
+/// kij: right-looking, row-order update.
+void lu_kij(Matrix& a, std::size_t n);
+
+/// kji: right-looking, column-order update.
+void lu_kji(Matrix& a, std::size_t n);
+
+/// jki: left-looking by columns.
+void lu_jki(Matrix& a, std::size_t n);
+
+/// ikj: by rows (Doolittle row sweep).
+void lu_ikj(Matrix& a, std::size_t n);
+
+using LuFn = void (*)(Matrix&, std::size_t);
+
+struct LuVariant {
+  const char* name;
+  LuFn fn;
+};
+
+const std::vector<LuVariant>& lu_variants();
+
+}  // namespace inlt::kernels

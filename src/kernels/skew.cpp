@@ -1,0 +1,40 @@
+#include "kernels/skew.hpp"
+
+#include <cstdint>
+
+namespace inlt::kernels {
+
+double skew_f(std::size_t i, std::size_t j) {
+  std::uint64_t h = i * 0x9e3779b97f4a7c15ULL + j + 0x12345;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+void skew_source(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n) {
+  std::size_t stride = n + 2;
+  for (std::size_t i = 1; i <= n; ++i) {
+    b[i] = b[i - 1] + a[(i - 1) * stride + (i + 1)];
+    for (std::size_t j = i; j <= n; ++j) a[i * stride + j] = skew_f(i, j);
+  }
+}
+
+void skew_transformed(std::vector<double>& a, std::vector<double>& b,
+                      std::size_t n) {
+  std::size_t stride = n + 2;
+  // do I = 1-N..-1 { do J = 1-I..N: A(I+J, J) = f(I+J, J) }
+  for (std::ptrdiff_t i = 1 - static_cast<std::ptrdiff_t>(n); i <= -1; ++i) {
+    for (std::ptrdiff_t j = 1 - i; j <= static_cast<std::ptrdiff_t>(n); ++j)
+      a[static_cast<std::size_t>(i + j) * stride + static_cast<std::size_t>(j)] =
+          skew_f(static_cast<std::size_t>(i + j), static_cast<std::size_t>(j));
+  }
+  // do J = 1..N: A(J, J) = f(J, J)
+  for (std::size_t j = 1; j <= n; ++j) a[j * stride + j] = skew_f(j, j);
+  // do I2 = 1..N: B(I2) = B(I2-1) + A(I2-1, I2+1)
+  for (std::size_t i = 1; i <= n; ++i)
+    b[i] = b[i - 1] + a[(i - 1) * stride + (i + 1)];
+}
+
+}  // namespace inlt::kernels

@@ -1,0 +1,30 @@
+// Native versions of the §5.4/§5.5 example, for C4.
+//
+// The source imperfect nest interleaves a recurrence over B with a
+// triangular fill of A; the transformed code (skew + simplification,
+// §5.5's second listing) separates them into three perfect loops. The
+// transformation was motivated structurally; the benchmark measures
+// what it buys on a real machine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace inlt::kernels {
+
+/// Original §5.4 code:
+///   do I = 1..N { B(I) = B(I-1) + A(I-1, I+1); do J = I..N: A(I,J) = f() }
+/// `a` is (n+2) x (n+2) row-major with 1-based logical indexing; `b`
+/// has n+1 entries (index 0 is the boundary).
+void skew_source(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n);
+
+/// §5.5's simplified transformed code (two triangular fills + the
+/// recurrence as a separate loop).
+void skew_transformed(std::vector<double>& a, std::vector<double>& b,
+                      std::size_t n);
+
+/// The pure generator the statements call (deterministic in (i, j)).
+double skew_f(std::size_t i, std::size_t j);
+
+}  // namespace inlt::kernels

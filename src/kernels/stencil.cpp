@@ -1,0 +1,26 @@
+#include "kernels/stencil.hpp"
+
+#include <algorithm>
+
+namespace inlt::kernels {
+
+void gauss_seidel(std::vector<double>& u, std::size_t n) {
+  std::size_t s = n + 1;
+  for (std::size_t i = 1; i <= n; ++i)
+    for (std::size_t j = 1; j <= n; ++j)
+      u[i * s + j] = u[(i - 1) * s + j] + u[i * s + j - 1];
+}
+
+void gauss_seidel_wavefront(std::vector<double>& u, std::size_t n) {
+  std::size_t s = n + 1;
+  for (std::size_t t = 2; t <= 2 * n; ++t) {
+    std::size_t ilo = t > n ? t - n : 1;
+    std::size_t ihi = std::min(t - 1, n);
+    for (std::size_t i = ilo; i <= ihi; ++i) {
+      std::size_t j = t - i;
+      u[i * s + j] = u[(i - 1) * s + j] + u[i * s + j - 1];
+    }
+  }
+}
+
+}  // namespace inlt::kernels

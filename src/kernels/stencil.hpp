@@ -1,0 +1,20 @@
+// Gauss-Seidel sweep kernels: original row-major order vs the skewed
+// wavefront traversal the framework generates (see
+// examples/wavefront_parallel.cpp). Sequential timings quantify what
+// the wavefront order costs in locality — the price paid for making
+// the inner loop a doall.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace inlt::kernels {
+
+/// u is (n+1) x (n+1) row-major with a boundary row/column 0.
+/// Original: for i: for j: u(i,j) = u(i-1,j) + u(i,j-1).
+void gauss_seidel(std::vector<double>& u, std::size_t n);
+
+/// Wavefront order: for t = 2..2n: for i on the anti-diagonal.
+void gauss_seidel_wavefront(std::vector<double>& u, std::size_t n);
+
+}  // namespace inlt::kernels

@@ -1,0 +1,85 @@
+#include "kernels/util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace inlt::kernels {
+
+namespace {
+double unit_hash(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+}  // namespace
+
+Matrix make_spd(std::size_t n, unsigned seed) {
+  Matrix a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      double v = 0.5 * unit_hash((static_cast<std::uint64_t>(seed) << 40) ^
+                                 (i * 1000003 + j));
+      if (i == j) v += static_cast<double>(n) + 1.0;
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  return a;
+}
+
+Matrix make_dd(std::size_t n, unsigned seed) {
+  Matrix a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = unit_hash((static_cast<std::uint64_t>(seed) << 40) ^
+                           (i * 1000003 + j)) -
+                 0.5;
+      if (i == j) v += static_cast<double>(n) + 1.0;
+      a[i * n + j] = v;
+    }
+  return a;
+}
+
+double cholesky_residual(const Matrix& factored, const Matrix& original,
+                         std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= j; ++k)
+        acc += factored[i * n + k] * factored[j * n + k];
+      worst = std::max(worst, std::fabs(acc - original[i * n + j]));
+    }
+  return worst;
+}
+
+double lu_residual(const Matrix& factored, const Matrix& original,
+                   std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k < kmax; ++k)
+        acc += factored[i * n + k] * factored[k * n + j];
+      // L has unit diagonal: L[i][i] = 1.
+      if (i <= j)
+        acc += factored[i * n + j];  // k == i term: 1 * U[i][j]
+      else
+        acc += factored[i * n + j] * factored[j * n + j];  // k == j term
+      worst = std::max(worst, std::fabs(acc - original[i * n + j]));
+    }
+  return worst;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace inlt::kernels

@@ -1,0 +1,36 @@
+// Shared helpers for the native benchmark kernels: SPD matrix
+// generation and factorization residuals.
+//
+// Kernels operate on dense row-major n x n matrices in flat
+// std::vector<double> storage; only the lower triangle is meaningful
+// for the Cholesky variants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace inlt::kernels {
+
+using Matrix = std::vector<double>;  // row-major n*n
+
+/// Symmetric positive definite matrix (diagonally dominant).
+Matrix make_spd(std::size_t n, unsigned seed);
+
+/// General nonsingular-ish matrix for LU (diagonally dominant, so no
+/// pivoting is needed).
+Matrix make_dd(std::size_t n, unsigned seed);
+
+/// max |(L L^T)[i][j] - A[i][j]| over the lower triangle, where L is
+/// the lower triangle of `factored` and A the original SPD matrix.
+double cholesky_residual(const Matrix& factored, const Matrix& original,
+                         std::size_t n);
+
+/// max |(L U)[i][j] - A[i][j]| where L (unit diagonal) and U are packed
+/// in `factored`.
+double lu_residual(const Matrix& factored, const Matrix& original,
+                   std::size_t n);
+
+/// max |a[i] - b[i]|.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace inlt::kernels

@@ -1,0 +1,107 @@
+#include "linalg/constraint.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+ConstraintSystem::ConstraintSystem(std::vector<std::string> var_names)
+    : vars_(std::move(var_names)) {}
+
+int ConstraintSystem::var(const std::string& name) const {
+  int i = find_var(name);
+  INLT_CHECK_MSG(i >= 0, "unknown constraint variable: " + name);
+  return i;
+}
+
+int ConstraintSystem::find_var(const std::string& name) const {
+  for (size_t i = 0; i < vars_.size(); ++i)
+    if (vars_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+int ConstraintSystem::add_var(const std::string& name) {
+  vars_.push_back(name);
+  for (LinExpr& e : eqs_) e.coef.push_back(0);
+  for (LinExpr& e : ineqs_) e.coef.push_back(0);
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+void ConstraintSystem::add_eq(LinExpr e) {
+  INLT_CHECK(e.coef.size() == vars_.size());
+  eqs_.push_back(std::move(e));
+}
+
+void ConstraintSystem::add_ge(LinExpr e) {
+  INLT_CHECK(e.coef.size() == vars_.size());
+  ineqs_.push_back(std::move(e));
+}
+
+void ConstraintSystem::add_var_ge(int var_idx, i64 bound) {
+  LinExpr e = zero_expr();
+  e.coef[var_idx] = 1;
+  e.constant = checked_neg(bound);
+  add_ge(std::move(e));
+}
+
+void ConstraintSystem::add_var_le(int var_idx, i64 bound) {
+  LinExpr e = zero_expr();
+  e.coef[var_idx] = -1;
+  e.constant = bound;
+  add_ge(std::move(e));
+}
+
+void ConstraintSystem::add_diff_ge(int a_idx, int b_idx, i64 k) {
+  LinExpr e = zero_expr();
+  e.coef[a_idx] = checked_add(e.coef[a_idx], 1);
+  e.coef[b_idx] = checked_sub(e.coef[b_idx], 1);
+  e.constant = checked_neg(k);
+  add_ge(std::move(e));
+}
+
+void ConstraintSystem::add_diff_eq(int a_idx, int b_idx, i64 k) {
+  LinExpr e = zero_expr();
+  e.coef[a_idx] = checked_add(e.coef[a_idx], 1);
+  e.coef[b_idx] = checked_sub(e.coef[b_idx], 1);
+  e.constant = checked_neg(k);
+  add_eq(std::move(e));
+}
+
+namespace {
+void render_expr(std::ostream& os, const LinExpr& e,
+                 const std::vector<std::string>& vars) {
+  bool any = false;
+  for (size_t i = 0; i < e.coef.size(); ++i) {
+    i64 c = e.coef[i];
+    if (c == 0) continue;
+    if (any)
+      os << (c > 0 ? " + " : " - ");
+    else if (c < 0)
+      os << "-";
+    any = true;
+    i64 mag = c < 0 ? -c : c;
+    if (mag != 1) os << mag << "*";
+    os << vars[i];
+  }
+  if (e.constant != 0 || !any) {
+    if (any) os << (e.constant >= 0 ? " + " : " - ");
+    os << (e.constant < 0 && any ? -e.constant : e.constant);
+  }
+}
+}  // namespace
+
+std::string ConstraintSystem::to_string() const {
+  std::ostringstream os;
+  for (const LinExpr& e : eqs_) {
+    render_expr(os, e, vars_);
+    os << " == 0\n";
+  }
+  for (const LinExpr& e : ineqs_) {
+    render_expr(os, e, vars_);
+    os << " >= 0\n";
+  }
+  return os.str();
+}
+
+}  // namespace inlt

@@ -1,0 +1,82 @@
+// Systems of affine equalities and inequalities over named integer
+// variables.
+//
+// Dependence analysis (§3) builds one of these per (write, read) pair:
+// loop bounds, same-array-location equalities, ordering constraints,
+// and the Δ definitions of Eq. (3). The Omega-style solver in
+// `project.hpp` then answers integer feasibility / projection queries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace inlt {
+
+/// coef · x + constant, over the owning system's variables.
+struct LinExpr {
+  IntVec coef;
+  i64 constant = 0;
+
+  LinExpr() = default;
+  LinExpr(IntVec c, i64 k) : coef(std::move(c)), constant(k) {}
+
+  /// True if no variable has a nonzero coefficient.
+  bool is_constant() const { return vec_is_zero(coef); }
+};
+
+class ConstraintSystem {
+ public:
+  ConstraintSystem() = default;
+  explicit ConstraintSystem(std::vector<std::string> var_names);
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  const std::vector<std::string>& var_names() const { return vars_; }
+
+  /// Index of a named variable; throws if absent.
+  int var(const std::string& name) const;
+
+  /// Index of a named variable, or -1.
+  int find_var(const std::string& name) const;
+
+  /// Append a fresh variable (coefficient 0 in existing constraints);
+  /// returns its index. Used by the Omega equality-elimination step.
+  int add_var(const std::string& name);
+
+  /// expr == 0.
+  void add_eq(LinExpr e);
+  /// expr >= 0.
+  void add_ge(LinExpr e);
+
+  /// lhs == rhs for single variables/constants: coef_l*var_l + k == ...
+  /// Convenience builders used heavily by the dependence analyzer.
+  /// var >= bound
+  void add_var_ge(int var_idx, i64 bound);
+  /// var <= bound
+  void add_var_le(int var_idx, i64 bound);
+  /// a - b >= k  (i.e. a >= b + k)
+  void add_diff_ge(int a_idx, int b_idx, i64 k);
+  /// a == b + k
+  void add_diff_eq(int a_idx, int b_idx, i64 k);
+
+  /// Zero-valued expression sized to this system (fill in coefficients
+  /// then pass to add_eq/add_ge).
+  LinExpr zero_expr() const { return LinExpr(IntVec(vars_.size(), 0), 0); }
+
+  const std::vector<LinExpr>& equalities() const { return eqs_; }
+  const std::vector<LinExpr>& inequalities() const { return ineqs_; }
+
+  std::vector<LinExpr>& mutable_equalities() { return eqs_; }
+  std::vector<LinExpr>& mutable_inequalities() { return ineqs_; }
+
+  /// Human-readable rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<LinExpr> eqs_;    // each == 0
+  std::vector<LinExpr> ineqs_;  // each >= 0
+};
+
+}  // namespace inlt

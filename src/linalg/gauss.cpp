@@ -1,0 +1,209 @@
+#include "linalg/gauss.hpp"
+
+#include <algorithm>
+
+namespace inlt {
+
+RatMat rref(RatMat m) {
+  int lead = 0;
+  for (int r = 0; r < m.rows() && lead < m.cols(); ++r) {
+    // Find a pivot in column `lead` at or below row r.
+    int pivot = -1;
+    while (lead < m.cols()) {
+      for (int i = r; i < m.rows(); ++i) {
+        if (!m(i, lead).is_zero()) {
+          pivot = i;
+          break;
+        }
+      }
+      if (pivot >= 0) break;
+      ++lead;
+    }
+    if (pivot < 0) break;
+    if (pivot != r)
+      for (int j = 0; j < m.cols(); ++j) std::swap(m(r, j), m(pivot, j));
+    Rational inv = Rational(1) / m(r, lead);
+    for (int j = 0; j < m.cols(); ++j) m(r, j) *= inv;
+    for (int i = 0; i < m.rows(); ++i) {
+      if (i == r || m(i, lead).is_zero()) continue;
+      Rational f = m(i, lead);
+      for (int j = 0; j < m.cols(); ++j) m(i, j) -= f * m(r, j);
+    }
+    ++lead;
+  }
+  return m;
+}
+
+int rank(const RatMat& m) {
+  RatMat e = rref(m);
+  int r = 0;
+  for (int i = 0; i < e.rows(); ++i) {
+    bool nonzero = false;
+    for (int j = 0; j < e.cols(); ++j)
+      if (!e(i, j).is_zero()) {
+        nonzero = true;
+        break;
+      }
+    if (nonzero) ++r;
+  }
+  return r;
+}
+
+int rank(const IntMat& m) { return rank(to_rational(m)); }
+
+RatMat inverse(const RatMat& m) {
+  INLT_CHECK_MSG(m.rows() == m.cols(), "inverse of non-square matrix");
+  int n = m.rows();
+  // Eliminate on [M | I]; left half becomes I iff M is nonsingular.
+  RatMat aug(n, 2 * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) aug(i, j) = m(i, j);
+    aug(i, n + i) = Rational(1);
+  }
+  aug = rref(aug);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (aug(i, j) != Rational(i == j ? 1 : 0))
+        throw TransformError("matrix is singular, cannot invert");
+  return aug.block(0, n, n, 2 * n);
+}
+
+std::optional<RatVec> solve(const RatMat& a, const RatVec& b) {
+  INLT_CHECK(a.rows() == static_cast<int>(b.size()));
+  RatMat aug(a.rows(), a.cols() + 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) aug(i, j) = a(i, j);
+    aug(i, a.cols()) = b[i];
+  }
+  aug = rref(aug);
+  RatVec x(a.cols(), Rational(0));
+  for (int i = 0; i < aug.rows(); ++i) {
+    int pivot = -1;
+    for (int j = 0; j < a.cols(); ++j)
+      if (!aug(i, j).is_zero()) {
+        pivot = j;
+        break;
+      }
+    if (pivot < 0) {
+      if (!aug(i, a.cols()).is_zero()) return std::nullopt;  // 0 = nonzero
+      continue;
+    }
+    x[pivot] = aug(i, a.cols());
+  }
+  return x;
+}
+
+std::vector<IntVec> integer_nullspace(const IntMat& a) {
+  RatMat e = rref(to_rational(a));
+  int n = a.cols();
+  // Identify pivot columns.
+  std::vector<int> pivot_col_of_row;
+  std::vector<bool> is_pivot(n, false);
+  for (int i = 0; i < e.rows(); ++i) {
+    int p = -1;
+    for (int j = 0; j < n; ++j)
+      if (!e(i, j).is_zero()) {
+        p = j;
+        break;
+      }
+    if (p < 0) break;
+    pivot_col_of_row.push_back(p);
+    is_pivot[p] = true;
+  }
+  std::vector<IntVec> basis;
+  for (int freeCol = 0; freeCol < n; ++freeCol) {
+    if (is_pivot[freeCol]) continue;
+    // Rational solution with this free variable = 1, others 0.
+    RatVec v(n, Rational(0));
+    v[freeCol] = Rational(1);
+    for (size_t r = 0; r < pivot_col_of_row.size(); ++r)
+      v[pivot_col_of_row[r]] = -e(static_cast<int>(r), freeCol);
+    // Clear denominators and reduce to a primitive integer vector.
+    i64 l = 1;
+    for (const Rational& q : v) l = lcm(l, q.den());
+    IntVec iv(n);
+    for (int j = 0; j < n; ++j)
+      iv[j] = checked_mul(v[j].num(), l / v[j].den());
+    i64 g = vec_gcd(iv);
+    if (g > 1) iv = vec_div_exact(iv, g);
+    basis.push_back(std::move(iv));
+  }
+  return basis;
+}
+
+std::vector<int> independent_row_indices(const IntMat& m) {
+  std::vector<int> kept;
+  RatMat acc(0, m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    RatMat trial = acc;
+    std::vector<Rational> row(m.cols());
+    for (int j = 0; j < m.cols(); ++j) row[j] = Rational(m(i, j));
+    trial.append_row(row);
+    if (rank(trial) > rank(acc)) {
+      kept.push_back(i);
+      acc = std::move(trial);
+    }
+  }
+  return kept;
+}
+
+std::optional<RatVec> express_in_span(const IntVec& row,
+                                      const std::vector<IntVec>& basis) {
+  if (basis.empty())
+    return vec_is_zero(row) ? std::optional<RatVec>(RatVec{}) : std::nullopt;
+  int n = static_cast<int>(row.size());
+  // Solve B^T c = row where B's rows are the basis vectors.
+  RatMat bt(n, static_cast<int>(basis.size()));
+  for (size_t k = 0; k < basis.size(); ++k) {
+    INLT_CHECK(static_cast<int>(basis[k].size()) == n);
+    for (int i = 0; i < n; ++i) bt(i, static_cast<int>(k)) = Rational(basis[k][i]);
+  }
+  RatVec rhs(n);
+  for (int i = 0; i < n; ++i) rhs[i] = Rational(row[i]);
+  auto c = solve(bt, rhs);
+  if (!c) return std::nullopt;
+  // solve() finds *a* least-structured solution; verify it reproduces row
+  // exactly (it does unless the system was inconsistent, which solve
+  // already rejects — this is a cheap belt-and-braces check).
+  for (int i = 0; i < n; ++i) {
+    Rational acc(0);
+    for (size_t k = 0; k < basis.size(); ++k)
+      acc += (*c)[k] * Rational(basis[k][i]);
+    if (acc != Rational(row[i])) return std::nullopt;
+  }
+  return c;
+}
+
+Rational determinant(const RatMat& m) {
+  INLT_CHECK_MSG(m.rows() == m.cols(), "determinant of non-square matrix");
+  RatMat a = m;
+  int n = a.rows();
+  Rational det(1);
+  for (int c = 0; c < n; ++c) {
+    int pivot = -1;
+    for (int i = c; i < n; ++i)
+      if (!a(i, c).is_zero()) {
+        pivot = i;
+        break;
+      }
+    if (pivot < 0) return Rational(0);
+    if (pivot != c) {
+      for (int j = 0; j < n; ++j) std::swap(a(c, j), a(pivot, j));
+      det = -det;
+    }
+    det *= a(c, c);
+    Rational inv = Rational(1) / a(c, c);
+    for (int i = c + 1; i < n; ++i) {
+      if (a(i, c).is_zero()) continue;
+      Rational f = a(i, c) * inv;
+      for (int j = c; j < n; ++j) a(i, j) -= f * a(c, j);
+    }
+  }
+  return det;
+}
+
+i64 determinant(const IntMat& m) {
+  return determinant(to_rational(m)).as_integer();
+}
+
+}  // namespace inlt

@@ -1,0 +1,54 @@
+// Exact Gaussian elimination over ℚ.
+//
+// Supplies the rank/nullspace/inverse machinery the framework needs:
+//  - rank of per-statement transformations (§5.4, Theorem 3),
+//  - the rows of N_S retained from T_S (Def 8: drop zero rows and rows
+//    that are linear combinations of previous rows),
+//  - the coefficients m_1..m_l expressing a singular loop's row as a
+//    combination of earlier independent rows (§5.5),
+//  - nullspace bases for completion (Fig 7, step 15) and for finding
+//    parallel loops ("a row in the nullspace of the dependence matrix").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace inlt {
+
+/// Reduced row echelon form.
+RatMat rref(RatMat m);
+
+/// Rank via elimination (exact).
+int rank(const RatMat& m);
+int rank(const IntMat& m);
+
+/// Inverse of a square nonsingular matrix; throws TransformError if
+/// singular.
+RatMat inverse(const RatMat& m);
+
+/// Solve A x = b; nullopt if inconsistent. If underdetermined, returns
+/// the solution with free variables set to zero.
+std::optional<RatVec> solve(const RatMat& a, const RatVec& b);
+
+/// Basis of the rational nullspace of A, scaled to primitive integer
+/// vectors (each basis vector's entries have gcd 1). Vectors satisfy
+/// A v = 0.
+std::vector<IntVec> integer_nullspace(const IntMat& a);
+
+/// Indices of rows that are NOT zero and NOT linear combinations of
+/// previous rows — exactly the rows Def 8 keeps when building the
+/// non-singular per-statement transformation N_S from T_S.
+std::vector<int> independent_row_indices(const IntMat& m);
+
+/// Coefficients c with row = sum_j c[j] * basis[j]; nullopt if row is
+/// outside the span. Powers the singular-loop guard of §5.5.
+std::optional<RatVec> express_in_span(const IntVec& row,
+                                      const std::vector<IntVec>& basis);
+
+/// Determinant of a square matrix (exact).
+Rational determinant(const RatMat& m);
+i64 determinant(const IntMat& m);
+
+}  // namespace inlt

@@ -1,0 +1,98 @@
+#include "linalg/hermite.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "linalg/gauss.hpp"
+
+namespace inlt {
+
+namespace {
+
+// Column operations applied in lockstep to H and U keep the invariant
+// H = A * U throughout.
+void swap_cols(IntMat& m, int a, int b) {
+  for (int i = 0; i < m.rows(); ++i) std::swap(m(i, a), m(i, b));
+}
+
+void negate_col(IntMat& m, int c) {
+  for (int i = 0; i < m.rows(); ++i) m(i, c) = checked_neg(m(i, c));
+}
+
+// col[dst] -= q * col[src]
+void axpy_col(IntMat& m, int dst, int src, i64 q) {
+  if (q == 0) return;
+  for (int i = 0; i < m.rows(); ++i)
+    m(i, dst) = checked_sub(m(i, dst), checked_mul(q, m(i, src)));
+}
+
+}  // namespace
+
+HermiteResult hermite_normal_form(const IntMat& a) {
+  IntMat h = a;
+  IntMat u = IntMat::identity(a.cols());
+  int pc = 0;  // next pivot column
+  for (int r = 0; r < h.rows() && pc < h.cols(); ++r) {
+    // Does row r have a nonzero entry at or right of pc?
+    bool any = false;
+    for (int c = pc; c < h.cols(); ++c)
+      if (h(r, c) != 0) {
+        any = true;
+        break;
+      }
+    if (!any) continue;
+    // Euclid on row r across columns [pc, n): reduce until a single
+    // nonzero remains in column pc.
+    for (;;) {
+      int best = -1;
+      for (int c = pc; c < h.cols(); ++c) {
+        if (h(r, c) == 0) continue;
+        if (best < 0 || std::llabs(h(r, c)) < std::llabs(h(r, best))) best = c;
+      }
+      if (best != pc) {
+        swap_cols(h, pc, best);
+        swap_cols(u, pc, best);
+      }
+      if (h(r, pc) < 0) {
+        negate_col(h, pc);
+        negate_col(u, pc);
+      }
+      bool done = true;
+      for (int c = pc + 1; c < h.cols(); ++c) {
+        if (h(r, c) == 0) continue;
+        i64 q = floor_div(h(r, c), h(r, pc));
+        axpy_col(h, c, pc, q);
+        axpy_col(u, c, pc, q);
+        if (h(r, c) != 0) done = false;
+      }
+      if (done) break;
+    }
+    // Reduce entries to the left of the pivot into [0, pivot).
+    for (int c = 0; c < pc; ++c) {
+      i64 q = floor_div(h(r, c), h(r, pc));
+      axpy_col(h, c, pc, q);
+      axpy_col(u, c, pc, q);
+    }
+    ++pc;
+  }
+  return {h, u};
+}
+
+bool is_unimodular(const IntMat& m) {
+  if (m.rows() != m.cols()) return false;
+  i64 d = determinant(m);
+  return d == 1 || d == -1;
+}
+
+IntMat complete_to_nonsingular(const IntMat& rows) {
+  int n = rows.cols();
+  INLT_CHECK_MSG(rank(rows) == rows.rows(),
+                 "complete_to_nonsingular requires independent rows");
+  IntMat out = rows;
+  for (const IntVec& v : integer_nullspace(rows)) out.append_row(v);
+  INLT_CHECK_MSG(out.rows() == n, "completion did not reach full rank");
+  INLT_CHECK(rank(out) == n);
+  return out;
+}
+
+}  // namespace inlt

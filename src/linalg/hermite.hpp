@@ -1,0 +1,34 @@
+// Hermite normal form and unimodular matrix utilities.
+//
+// Non-unimodular per-statement transformations (loop scaling, skewing
+// by rational amounts cleared to integers) produce target iteration
+// lattices that are proper sublattices of ℤ^k; the column HNF of N_S
+// supplies the loop steps and the change of basis used by the bound
+// generator (§5.5, following Li & Pingali [10]).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace inlt {
+
+struct HermiteResult {
+  IntMat h;  ///< Column-style HNF: lower triangular, positive pivots.
+  IntMat u;  ///< Unimodular, with a * u == h.
+};
+
+/// Column-style Hermite normal form of an m x n integer matrix:
+/// returns H = A U with U unimodular (n x n), H lower-triangular in the
+/// echelon sense (pivot columns step down-right), pivots positive, and
+/// entries left of a pivot reduced into [0, pivot).
+HermiteResult hermite_normal_form(const IntMat& a);
+
+/// True iff m is square with determinant +1 or -1.
+bool is_unimodular(const IntMat& m);
+
+/// Given k linearly independent rows (k x n), return an n x n
+/// nonsingular integer matrix whose first k rows are the given rows.
+/// The added rows are integer-nullspace completions — this is step 15
+/// of the paper's Complete procedure (Fig 7).
+IntMat complete_to_nonsingular(const IntMat& rows);
+
+}  // namespace inlt

@@ -1,0 +1,366 @@
+#include "linalg/project.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+namespace {
+
+// Recursion guard: dependence systems are tiny; anything deeper than
+// this indicates a bug, not a hard problem.
+constexpr int kMaxDepth = 128;
+
+// Symmetric residue in (-b/2, b/2].
+i64 mod_hat(i64 a, i64 b) {
+  i64 r = floor_mod(a, b);
+  if (2 * r > b) r -= b;
+  return r;
+}
+
+// Substitute variable j using the unit-coefficient equality
+//   s * x_j + rest(x) + c == 0   (s = ±1)
+// i.e. x_j = -s * (rest(x) + c), into expression f; clears f.coef[j].
+void substitute_unit(LinExpr& f, const LinExpr& eq, int j, i64 s) {
+  i64 fj = f.coef[j];
+  if (fj == 0) return;
+  i64 scale = checked_mul(fj, s);
+  for (size_t i = 0; i < f.coef.size(); ++i) {
+    if (static_cast<int>(i) == j) continue;
+    f.coef[i] = checked_sub(f.coef[i], checked_mul(scale, eq.coef[i]));
+  }
+  f.constant = checked_sub(f.constant, checked_mul(scale, eq.constant));
+  f.coef[j] = 0;
+}
+
+// Eliminate all equalities from cs (Pugh's method). Returns false if
+// the system is detected infeasible in the process.
+bool eliminate_equalities(ConstraintSystem& cs) {
+  int guard = 0;
+  while (!cs.equalities().empty()) {
+    if (++guard > 1000)
+      throw Error("omega: equality elimination did not terminate");
+    if (!normalize_system(cs)) return false;
+    if (cs.equalities().empty()) break;
+
+    // Prefer an equality with a unit coefficient.
+    auto& eqs = cs.mutable_equalities();
+    int pick = -1, unit_var = -1;
+    for (size_t e = 0; e < eqs.size() && pick < 0; ++e)
+      for (size_t i = 0; i < eqs[e].coef.size(); ++i)
+        if (eqs[e].coef[i] == 1 || eqs[e].coef[i] == -1) {
+          pick = static_cast<int>(e);
+          unit_var = static_cast<int>(i);
+          break;
+        }
+
+    if (pick >= 0) {
+      LinExpr eq = eqs[pick];
+      i64 s = eq.coef[unit_var];
+      eqs.erase(eqs.begin() + pick);
+      for (LinExpr& f : cs.mutable_equalities())
+        substitute_unit(f, eq, unit_var, s);
+      for (LinExpr& f : cs.mutable_inequalities())
+        substitute_unit(f, eq, unit_var, s);
+      continue;
+    }
+
+    // No unit coefficient anywhere: apply the mod-hat substitution to
+    // the first equality to manufacture one.
+    LinExpr eq = eqs.front();
+    int k = -1;
+    for (size_t i = 0; i < eq.coef.size(); ++i) {
+      if (eq.coef[i] == 0) continue;
+      if (k < 0 || std::llabs(eq.coef[i]) < std::llabs(eq.coef[k]))
+        k = static_cast<int>(i);
+    }
+    INLT_CHECK(k >= 0);  // normalize_system removed constant equalities
+    i64 m = std::llabs(eq.coef[k]) + 1;
+    int sigma = cs.add_var("$sigma" + std::to_string(cs.num_vars()));
+    // New equality: sum_i mod_hat(a_i, m) x_i - m*sigma + mod_hat(c, m) == 0.
+    // Its x_k coefficient is -sign(a_k), a unit; the loop above will
+    // pick it up on the next iteration and substitute.
+    LinExpr ne = cs.zero_expr();
+    // (cs.add_var resized existing constraints; re-read eq with padding)
+    for (size_t i = 0; i < eq.coef.size(); ++i)
+      ne.coef[i] = mod_hat(eq.coef[i], m);
+    ne.coef[sigma] = -m;
+    ne.constant = mod_hat(eq.constant, m);
+    // The old equality must also be rewritten: a_i = m*floor(...)+mhat,
+    // so substituting sigma's definition transforms it. Pugh keeps the
+    // original equality and lets the unit substitution update it; we do
+    // the same — just append the new one.
+    cs.mutable_equalities().push_back(std::move(ne));
+  }
+  return normalize_system(cs);
+}
+
+struct Partition {
+  std::vector<LinExpr> lower;  // coef[j] > 0
+  std::vector<LinExpr> upper;  // coef[j] < 0
+  std::vector<LinExpr> rest;   // coef[j] == 0
+};
+
+Partition partition_on(const ConstraintSystem& cs, int j) {
+  Partition p;
+  for (const LinExpr& e : cs.inequalities()) {
+    if (e.coef[j] > 0)
+      p.lower.push_back(e);
+    else if (e.coef[j] < 0)
+      p.upper.push_back(e);
+    else
+      p.rest.push_back(e);
+  }
+  return p;
+}
+
+// Shadow of eliminating variable j. dark=false gives the real shadow,
+// dark=true subtracts (a-1)(b-1) from each combined constant.
+ConstraintSystem shadow(const ConstraintSystem& cs, int j, bool dark) {
+  Partition p = partition_on(cs, j);
+  ConstraintSystem out(cs.var_names());
+  for (const LinExpr& e : cs.equalities()) {
+    INLT_CHECK_MSG(e.coef[j] == 0,
+                   "shadow: equalities must not mention the variable");
+    out.add_eq(e);
+  }
+  for (LinExpr& e : p.rest) out.add_ge(std::move(e));
+  for (const LinExpr& l : p.lower) {
+    i64 a = l.coef[j];
+    for (const LinExpr& u : p.upper) {
+      i64 b = checked_neg(u.coef[j]);
+      // a*beta + b*alpha >= (dark ? (a-1)(b-1) : 0), with alpha/beta the
+      // j-free parts of l and u.
+      LinExpr c = out.zero_expr();
+      for (int i = 0; i < cs.num_vars(); ++i) {
+        if (i == j) continue;
+        c.coef[i] = checked_add(checked_mul(a, u.coef[i]),
+                                checked_mul(b, l.coef[i]));
+      }
+      c.constant = checked_add(checked_mul(a, u.constant),
+                               checked_mul(b, l.constant));
+      if (dark)
+        c.constant =
+            checked_sub(c.constant, checked_mul(a - 1, b - 1));
+      out.add_ge(std::move(c));
+    }
+  }
+  return out;
+}
+
+// Is eliminating j exact (real shadow == integer projection)? True when
+// every lower-bound coefficient is 1 or every upper-bound coefficient
+// is 1, or one side is empty.
+bool elimination_exact(const Partition& p, int j) {
+  bool lower_unit = true, upper_unit = true;
+  for (const LinExpr& l : p.lower)
+    if (l.coef[j] != 1) lower_unit = false;
+  for (const LinExpr& u : p.upper)
+    if (u.coef[j] != -1) upper_unit = false;
+  return p.lower.empty() || p.upper.empty() || lower_unit || upper_unit;
+}
+
+bool feasible_rec(ConstraintSystem cs, int depth) {
+  if (depth > kMaxDepth) throw Error("omega: recursion depth exceeded");
+  if (!eliminate_equalities(cs)) return false;
+
+  for (;;) {
+    if (!normalize_system(cs)) return false;
+    // Find a variable that still appears.
+    int nvars = cs.num_vars();
+    std::vector<bool> appears(nvars, false);
+    bool any = false;
+    for (const LinExpr& e : cs.inequalities())
+      for (int i = 0; i < nvars; ++i)
+        if (e.coef[i] != 0) appears[i] = true, any = true;
+    if (!any) return true;  // only constant constraints, all satisfied
+
+    // Prefer a variable whose elimination is exact; otherwise minimize
+    // the number of shadow constraints generated.
+    int best = -1;
+    long best_cost = 0;
+    bool best_exact = false;
+    for (int i = 0; i < nvars; ++i) {
+      if (!appears[i]) continue;
+      Partition p = partition_on(cs, i);
+      bool exact = elimination_exact(p, i);
+      long cost = static_cast<long>(p.lower.size()) *
+                  static_cast<long>(p.upper.size());
+      if (best < 0 || (exact && !best_exact) ||
+          (exact == best_exact && cost < best_cost)) {
+        best = i;
+        best_cost = cost;
+        best_exact = exact;
+      }
+    }
+
+    if (best_exact) {
+      cs = shadow(cs, best, /*dark=*/false);
+      continue;
+    }
+
+    // Inexact elimination: Omega's dark shadow + splintering.
+    ConstraintSystem dark = shadow(cs, best, /*dark=*/true);
+    if (feasible_rec(std::move(dark), depth + 1)) return true;
+    ConstraintSystem real = shadow(cs, best, /*dark=*/false);
+    if (!feasible_rec(std::move(real), depth + 1)) return false;
+
+    // Real shadow feasible, dark infeasible: any integer solution is
+    // pinned near a lower bound. For each lower bound a*x_j + alpha >= 0
+    // try the equalities a*x_j + alpha == i, 0 <= i <= (a*bmax-a-bmax)/bmax.
+    Partition p = partition_on(cs, best);
+    i64 bmax = 0;
+    for (const LinExpr& u : p.upper)
+      bmax = std::max(bmax, checked_neg(u.coef[best]));
+    INLT_CHECK(bmax >= 1);
+    for (const LinExpr& l : p.lower) {
+      i64 a = l.coef[best];
+      i64 hi = floor_div(checked_sub(checked_mul(a, bmax),
+                                     checked_add(a, bmax)),
+                         bmax);
+      for (i64 i = 0; i <= hi; ++i) {
+        ConstraintSystem sp = cs;
+        LinExpr eq = l;
+        eq.constant = checked_sub(eq.constant, i);
+        sp.add_eq(std::move(eq));
+        if (feasible_rec(std::move(sp), depth + 1)) return true;
+      }
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+bool normalize_system(ConstraintSystem& cs) {
+  // Equalities: GCD test + reduction.
+  std::vector<LinExpr> eqs;
+  for (LinExpr e : cs.equalities()) {
+    i64 g = vec_gcd(e.coef);
+    if (g == 0) {
+      if (e.constant != 0) return false;
+      continue;  // 0 == 0
+    }
+    if (floor_mod(e.constant, g) != 0) return false;  // GCD test
+    e.coef = vec_div_exact(e.coef, g);
+    e.constant /= g;
+    eqs.push_back(std::move(e));
+  }
+  cs.mutable_equalities() = std::move(eqs);
+
+  // Inequalities: tighten constants, keep the strongest per direction.
+  std::map<IntVec, i64> tightest;  // coef -> min constant
+  for (const LinExpr& e0 : cs.inequalities()) {
+    LinExpr e = e0;
+    i64 g = vec_gcd(e.coef);
+    if (g == 0) {
+      if (e.constant < 0) return false;  // 0 >= positive
+      continue;                          // tautology
+    }
+    e.coef = vec_div_exact(e.coef, g);
+    e.constant = floor_div(e.constant, g);
+    auto [it, inserted] = tightest.emplace(e.coef, e.constant);
+    if (!inserted) it->second = std::min(it->second, e.constant);
+  }
+  std::vector<LinExpr> ineqs;
+  ineqs.reserve(tightest.size());
+  for (auto& [coef, c] : tightest) {
+    // Contradicting pair coef·x + c1 >= 0 and -coef·x + c2 >= 0 with
+    // c1 + c2 < 0 means the interval is empty.
+    IntVec neg(coef.size());
+    for (size_t i = 0; i < coef.size(); ++i) neg[i] = -coef[i];
+    auto opp = tightest.find(neg);
+    if (opp != tightest.end() && checked_add(c, opp->second) < 0)
+      return false;
+    ineqs.emplace_back(coef, c);
+  }
+  cs.mutable_inequalities() = std::move(ineqs);
+  return true;
+}
+
+bool integer_feasible(const ConstraintSystem& cs) {
+  return feasible_rec(cs, 0);
+}
+
+ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx) {
+  INLT_CHECK(var_idx >= 0 && var_idx < cs.num_vars());
+  // Equalities mentioning the variable: substitute if a unit
+  // coefficient exists, otherwise demote to a pair of inequalities.
+  ConstraintSystem work(cs.var_names());
+  std::vector<LinExpr> pending_eqs;
+  LinExpr subst;
+  i64 subst_sign = 0;
+  for (const LinExpr& e : cs.equalities()) {
+    if (e.coef[var_idx] == 1 || e.coef[var_idx] == -1) {
+      if (subst_sign == 0) {
+        subst = e;
+        subst_sign = e.coef[var_idx];
+        continue;  // consumed as the definition of var_idx
+      }
+    }
+    pending_eqs.push_back(e);
+  }
+  std::vector<LinExpr> pending_ineqs(cs.inequalities().begin(),
+                                     cs.inequalities().end());
+  if (subst_sign != 0) {
+    for (LinExpr& f : pending_eqs) substitute_unit(f, subst, var_idx, subst_sign);
+    for (LinExpr& f : pending_ineqs)
+      substitute_unit(f, subst, var_idx, subst_sign);
+    for (LinExpr& f : pending_eqs) work.add_eq(std::move(f));
+    for (LinExpr& f : pending_ineqs) work.add_ge(std::move(f));
+    return work;
+  }
+  // No unit equality: split equalities that mention the variable.
+  for (LinExpr& e : pending_eqs) {
+    if (e.coef[var_idx] == 0) {
+      work.add_eq(std::move(e));
+      continue;
+    }
+    LinExpr ge = e;
+    LinExpr le = e;
+    for (i64& c : le.coef) c = checked_neg(c);
+    le.constant = checked_neg(le.constant);
+    work.add_ge(std::move(ge));
+    work.add_ge(std::move(le));
+  }
+  for (LinExpr& f : pending_ineqs) work.add_ge(std::move(f));
+  ConstraintSystem out = shadow(work, var_idx, /*dark=*/false);
+  normalize_system(out);  // infeasibility shows up as 0 >= k<0 constraints
+  return out;
+}
+
+ConstraintSystem project_onto(const ConstraintSystem& cs,
+                              const std::vector<int>& keep) {
+  std::vector<bool> keep_mask(cs.num_vars(), false);
+  for (int k : keep) {
+    INLT_CHECK(k >= 0 && k < cs.num_vars());
+    keep_mask[k] = true;
+  }
+  ConstraintSystem work = cs;
+  for (int i = 0; i < cs.num_vars(); ++i)
+    if (!keep_mask[i]) work = eliminate_var_real(work, i);
+
+  // Re-index onto the kept variables in the requested order.
+  std::vector<std::string> names;
+  names.reserve(keep.size());
+  for (int k : keep) names.push_back(cs.var_names()[k]);
+  ConstraintSystem out(names);
+  auto reindex = [&](const LinExpr& e) {
+    LinExpr r = out.zero_expr();
+    r.constant = e.constant;
+    for (size_t i = 0; i < keep.size(); ++i) r.coef[i] = e.coef[keep[i]];
+    // Eliminated variables must not appear anymore.
+    for (int v = 0; v < work.num_vars(); ++v)
+      if (v < cs.num_vars() && !keep_mask[v])
+        INLT_CHECK_MSG(e.coef[v] == 0, "projection left a residue");
+    return r;
+  };
+  for (const LinExpr& e : work.equalities()) out.add_eq(reindex(e));
+  for (const LinExpr& e : work.inequalities()) out.add_ge(reindex(e));
+  return out;
+}
+
+}  // namespace inlt

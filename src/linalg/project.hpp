@@ -1,0 +1,39 @@
+// Integer feasibility and projection for affine constraint systems.
+//
+// This is the stand-in for the Omega tool-kit [11] the paper uses: an
+// implementation of Pugh's Omega test. `integer_feasible` is exact —
+// normalization with GCD tightening, integer equality elimination via
+// the symmetric-mod substitution, Fourier–Motzkin with exact/dark
+// shadows and splintering when shadows disagree. `eliminate_var_real`
+// and `project_onto` perform rational FM with integer tightening, used
+// for loop-bound generation (§5.5) where conservative projection is
+// the right tool.
+#pragma once
+
+#include <vector>
+
+#include "linalg/constraint.hpp"
+
+namespace inlt {
+
+/// Exact: does the system have an integer solution?
+bool integer_feasible(const ConstraintSystem& cs);
+
+/// Rational Fourier–Motzkin elimination of one variable, with GCD
+/// normalization of the results. The output is implied by the input
+/// (every integer solution of the input maps to one of the output);
+/// it may admit extra integer points when coefficients exceed 1.
+ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx);
+
+/// Project onto the named subset of variables (in the given order),
+/// eliminating all others with eliminate_var_real. Equalities whose
+/// support is entirely within `keep` are preserved as equalities.
+ConstraintSystem project_onto(const ConstraintSystem& cs,
+                              const std::vector<int>& keep);
+
+/// Normalize in place: GCD-tighten, drop tautologies, deduplicate.
+/// Returns false if a constraint is unsatisfiable on its face
+/// (0 >= positive, or an equality failing the GCD test).
+bool normalize_system(ConstraintSystem& cs);
+
+}  // namespace inlt

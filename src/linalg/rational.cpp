@@ -1,0 +1,87 @@
+#include "linalg/rational.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace inlt {
+
+Rational::Rational(i64 n, i64 d) : num_(n), den_(d) {
+  INLT_CHECK_MSG(d != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked_neg(num_);
+    den_ = checked_neg(den_);
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  i64 g = gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+i64 Rational::as_integer() const {
+  INLT_CHECK_MSG(den_ == 1, "rational " + to_string() + " is not an integer");
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_neg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b,d); keeps
+  // intermediates small compared to the naive cross-multiplication.
+  i64 l = lcm(den_, o.den_);
+  i64 n = checked_add(checked_mul(num_, l / den_),
+                      checked_mul(o.num_, l / o.den_));
+  num_ = n;
+  den_ = l;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce before multiplying to avoid transient overflow.
+  i64 g1 = gcd(num_, o.den_);
+  i64 g2 = gcd(o.num_, den_);
+  num_ = checked_mul(num_ / g1, o.num_ / g2);
+  den_ = checked_mul(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  INLT_CHECK_MSG(!o.is_zero(), "rational division by zero");
+  return *this *= Rational(o.den_, o.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a.num/a.den <=> b.num/b.den  with positive denominators.
+  i64 lhs = checked_mul(a.num_, b.den_);
+  i64 rhs = checked_mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace inlt

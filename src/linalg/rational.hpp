@@ -1,0 +1,73 @@
+// Exact rational arithmetic on overflow-checked int64.
+//
+// Used wherever the compiler path needs division: Gaussian elimination,
+// per-statement transformation inverses, singular-loop coefficient
+// recovery. Always kept normalized (gcd(num,den) == 1, den > 0) so
+// equality is structural.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "support/checked_int.hpp"
+
+namespace inlt {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// Integer n/1. Intentionally implicit: integers embed in ℚ.
+  Rational(i64 n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// n/d, d != 0. Normalizes sign and gcd.
+  Rational(i64 n, i64 d);
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  /// Sign: -1, 0, or +1.
+  int sign() const { return num_ < 0 ? -1 : (num_ > 0 ? 1 : 0); }
+
+  /// The integer value; throws unless is_integer().
+  i64 as_integer() const;
+
+  /// Largest integer <= this.
+  i64 floor() const { return floor_div(num_, den_); }
+  /// Smallest integer >= this.
+  i64 ceil() const { return ceil_div(num_, den_); }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  i64 num_;
+  i64 den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace inlt

@@ -1,0 +1,109 @@
+#include "linalg/smith.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace inlt {
+
+namespace {
+
+void swap_rows(IntMat& m, int a, int b) {
+  for (int j = 0; j < m.cols(); ++j) std::swap(m(a, j), m(b, j));
+}
+void swap_cols(IntMat& m, int a, int b) {
+  for (int i = 0; i < m.rows(); ++i) std::swap(m(i, a), m(i, b));
+}
+void negate_row(IntMat& m, int r) {
+  for (int j = 0; j < m.cols(); ++j) m(r, j) = checked_neg(m(r, j));
+}
+// row[dst] -= q * row[src]
+void axpy_row(IntMat& m, int dst, int src, i64 q) {
+  if (q == 0) return;
+  for (int j = 0; j < m.cols(); ++j)
+    m(dst, j) = checked_sub(m(dst, j), checked_mul(q, m(src, j)));
+}
+// col[dst] -= q * col[src]
+void axpy_col(IntMat& m, int dst, int src, i64 q) {
+  if (q == 0) return;
+  for (int i = 0; i < m.rows(); ++i)
+    m(i, dst) = checked_sub(m(i, dst), checked_mul(q, m(i, src)));
+}
+
+}  // namespace
+
+SmithResult smith_normal_form(const IntMat& a) {
+  IntMat s = a;
+  IntMat u = IntMat::identity(a.rows());
+  IntMat v = IntMat::identity(a.cols());
+  int n = std::min(a.rows(), a.cols());
+
+  for (int t = 0; t < n; ++t) {
+    // Find a pivot: smallest-magnitude nonzero in the trailing block.
+    int pr = -1, pc = -1;
+    for (int i = t; i < s.rows(); ++i)
+      for (int j = t; j < s.cols(); ++j) {
+        if (s(i, j) == 0) continue;
+        if (pr < 0 || std::llabs(s(i, j)) < std::llabs(s(pr, pc))) {
+          pr = i;
+          pc = j;
+        }
+      }
+    if (pr < 0) break;  // trailing block is zero
+    if (pr != t) {
+      swap_rows(s, t, pr);
+      swap_rows(u, t, pr);
+    }
+    if (pc != t) {
+      swap_cols(s, t, pc);
+      swap_cols(v, t, pc);
+    }
+
+    // Clear row t and column t; pivot may shrink, so iterate.
+    for (;;) {
+      bool clean = true;
+      for (int i = t + 1; i < s.rows(); ++i) {
+        if (s(i, t) == 0) continue;
+        i64 q = floor_div(s(i, t), s(t, t));
+        axpy_row(s, i, t, q);
+        axpy_row(u, i, t, q);
+        if (s(i, t) != 0) {
+          // Remainder smaller than pivot: promote it.
+          swap_rows(s, t, i);
+          swap_rows(u, t, i);
+          clean = false;
+        }
+      }
+      for (int j = t + 1; j < s.cols(); ++j) {
+        if (s(t, j) == 0) continue;
+        i64 q = floor_div(s(t, j), s(t, t));
+        axpy_col(s, j, t, q);
+        axpy_col(v, j, t, q);
+        if (s(t, j) != 0) {
+          swap_cols(s, t, j);
+          swap_cols(v, t, j);
+          clean = false;
+        }
+      }
+      if (clean) break;
+    }
+    if (s(t, t) < 0) {
+      negate_row(s, t);
+      negate_row(u, t);
+    }
+
+    // Enforce the divisibility chain: if some trailing entry is not
+    // divisible by the pivot, fold its column into column t and redo.
+    bool redo = false;
+    for (int i = t + 1; i < s.rows() && !redo; ++i)
+      for (int j = t + 1; j < s.cols() && !redo; ++j)
+        if (s(i, j) % s(t, t) != 0) {
+          axpy_col(s, t, j, -1);
+          axpy_col(v, t, j, -1);
+          redo = true;
+        }
+    if (redo) --t;  // re-run this pivot position
+  }
+  return {s, u, v};
+}
+
+}  // namespace inlt

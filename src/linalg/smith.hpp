@@ -1,0 +1,22 @@
+// Smith normal form over ℤ.
+//
+// S = U A V with U, V unimodular and S diagonal, each diagonal entry
+// dividing the next. Used to reason about the image lattice of
+// non-unimodular per-statement transformations (how many target points
+// a scaled loop skips) and cross-checked against HNF in tests.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace inlt {
+
+struct SmithResult {
+  IntMat s;  ///< Diagonal, d_i >= 0, d_i | d_{i+1}.
+  IntMat u;  ///< Unimodular row transform.
+  IntMat v;  ///< Unimodular column transform; u * a * v == s.
+};
+
+/// Smith normal form of an arbitrary integer matrix.
+SmithResult smith_normal_form(const IntMat& a);
+
+}  // namespace inlt

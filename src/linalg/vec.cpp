@@ -1,0 +1,89 @@
+#include "linalg/vec.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace inlt {
+
+IntVec vec_add(const IntVec& a, const IntVec& b) {
+  INLT_CHECK(a.size() == b.size());
+  IntVec r(a.size());
+  for (size_t i = 0; i < a.size(); ++i) r[i] = checked_add(a[i], b[i]);
+  return r;
+}
+
+IntVec vec_sub(const IntVec& a, const IntVec& b) {
+  INLT_CHECK(a.size() == b.size());
+  IntVec r(a.size());
+  for (size_t i = 0; i < a.size(); ++i) r[i] = checked_sub(a[i], b[i]);
+  return r;
+}
+
+IntVec vec_scale(i64 s, const IntVec& a) {
+  IntVec r(a.size());
+  for (size_t i = 0; i < a.size(); ++i) r[i] = checked_mul(s, a[i]);
+  return r;
+}
+
+i64 vec_dot(const IntVec& a, const IntVec& b) {
+  INLT_CHECK(a.size() == b.size());
+  i64 acc = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    acc = checked_add(acc, checked_mul(a[i], b[i]));
+  return acc;
+}
+
+bool vec_is_zero(const IntVec& v) {
+  for (i64 x : v)
+    if (x != 0) return false;
+  return true;
+}
+
+int lex_sign(const IntVec& v) {
+  for (i64 x : v) {
+    if (x > 0) return 1;
+    if (x < 0) return -1;
+  }
+  return 0;
+}
+
+bool lex_less(const IntVec& a, const IntVec& b) {
+  INLT_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return true;
+    if (a[i] > b[i]) return false;
+  }
+  return false;
+}
+
+int first_nonzero(const IntVec& v) {
+  for (size_t i = 0; i < v.size(); ++i)
+    if (v[i] != 0) return static_cast<int>(i);
+  return -1;
+}
+
+i64 vec_gcd(const IntVec& v) {
+  i64 g = 0;
+  for (i64 x : v) g = gcd(g, x);
+  return g;
+}
+
+IntVec vec_div_exact(const IntVec& v, i64 g) {
+  INLT_CHECK(g != 0);
+  IntVec r(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    INLT_CHECK_MSG(v[i] % g == 0, "vec_div_exact: entry not divisible");
+    r[i] = v[i] / g;
+  }
+  return r;
+}
+
+std::string vec_to_string(const IntVec& v) {
+  std::ostringstream os;
+  os << '[' << join(v, ", ") << ']';
+  return os.str();
+}
+
+}  // namespace inlt

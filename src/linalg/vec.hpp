@@ -1,0 +1,55 @@
+// Integer vectors and the lexicographic order the framework is built on.
+//
+// Instance vectors (§2), dependence distance vectors (§3) and matrix
+// rows/columns are all IntVec. Lexicographic positivity of transformed
+// dependence vectors is the heart of the legality test (§5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/checked_int.hpp"
+
+namespace inlt {
+
+using IntVec = std::vector<i64>;
+
+/// a + b elementwise; sizes must match.
+IntVec vec_add(const IntVec& a, const IntVec& b);
+
+/// a - b elementwise; sizes must match.
+IntVec vec_sub(const IntVec& a, const IntVec& b);
+
+/// s * a elementwise.
+IntVec vec_scale(i64 s, const IntVec& a);
+
+/// Dot product.
+i64 vec_dot(const IntVec& a, const IntVec& b);
+
+/// True iff every entry is zero (also true for the empty vector).
+bool vec_is_zero(const IntVec& v);
+
+/// -1, 0, +1 for lexicographically negative / zero / positive.
+int lex_sign(const IntVec& v);
+
+/// True iff a precedes b lexicographically (strict).
+bool lex_less(const IntVec& a, const IntVec& b);
+
+/// Index of the first nonzero entry, or -1 if the vector is zero.
+/// This is the `Height` function of the completion procedure (Fig 7) —
+/// the paper numbers rows from 1, we index from 0.
+int first_nonzero(const IntVec& v);
+
+/// gcd of all entries (nonnegative; 0 for the zero vector).
+i64 vec_gcd(const IntVec& v);
+
+/// Divide every entry by g (must divide exactly).
+IntVec vec_div_exact(const IntVec& v, i64 g);
+
+/// "[a, b, c]" rendering.
+std::string vec_to_string(const IntVec& v);
+
+/// Vector over ℚ, used by rational elimination.
+using RatVec = std::vector<class Rational>;
+
+}  // namespace inlt

@@ -1,0 +1,16 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace inlt::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "inlt internal check failed: " << expr << " at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace inlt::detail

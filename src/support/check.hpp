@@ -1,0 +1,60 @@
+// Error handling primitives for inlt.
+//
+// The compiler path of inlt (dependence analysis, legality, code
+// generation) must never produce silently wrong answers, so internal
+// invariant violations throw rather than abort: a caller experimenting
+// with transformations can catch `inlt::Error` and continue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace inlt {
+
+/// Base class for all errors raised by the inlt library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when exact integer arithmetic would overflow int64.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed input programs (parser, builder misuse).
+class InvalidProgramError : public Error {
+ public:
+  explicit InvalidProgramError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a transformation matrix fails a structural requirement
+/// (block structure, nonsingularity, legality preconditions).
+class TransformError : public Error {
+ public:
+  explicit TransformError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace inlt
+
+/// Invariant check that is always on (the library is a compiler: being
+/// right matters more than the nanoseconds the branch costs).
+#define INLT_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::inlt::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                 \
+  } while (0)
+
+#define INLT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::inlt::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,83 @@
+// Overflow-checked arithmetic on int64.
+//
+// All exact math in the compiler path (instance vectors, dependence
+// distances, transformation matrices, Fourier–Motzkin) runs on int64
+// through these helpers. Loop-transformation systems are notorious for
+// silent coefficient overflow during elimination; we throw instead.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+using i64 = std::int64_t;
+
+/// a + b, throwing OverflowError on wrap.
+inline i64 checked_add(i64 a, i64 b) {
+  i64 r;
+  if (__builtin_add_overflow(a, b, &r))
+    throw OverflowError("int64 overflow in addition");
+  return r;
+}
+
+/// a - b, throwing OverflowError on wrap.
+inline i64 checked_sub(i64 a, i64 b) {
+  i64 r;
+  if (__builtin_sub_overflow(a, b, &r))
+    throw OverflowError("int64 overflow in subtraction");
+  return r;
+}
+
+/// a * b, throwing OverflowError on wrap.
+inline i64 checked_mul(i64 a, i64 b) {
+  i64 r;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw OverflowError("int64 overflow in multiplication");
+  return r;
+}
+
+/// -a, throwing OverflowError for INT64_MIN.
+inline i64 checked_neg(i64 a) { return checked_sub(0, a); }
+
+/// Nonnegative greatest common divisor; gcd(0,0) == 0.
+inline i64 gcd(i64 a, i64 b) {
+  if (a < 0) a = checked_neg(a);
+  if (b < 0) b = checked_neg(b);
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple (nonnegative); lcm(0,x) == 0.
+inline i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  i64 g = gcd(a, b);
+  return checked_mul(a / g, b < 0 ? -b : b);
+}
+
+/// Floor division (rounds toward -inf), b != 0.
+inline i64 floor_div(i64 a, i64 b) {
+  INLT_CHECK(b != 0);
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division (rounds toward +inf), b != 0.
+inline i64 ceil_div(i64 a, i64 b) {
+  INLT_CHECK(b != 0);
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Mathematical mod: result in [0, |b|).
+inline i64 floor_mod(i64 a, i64 b) { return a - checked_mul(floor_div(a, b), b); }
+
+}  // namespace inlt

@@ -1,0 +1,43 @@
+// Exact legality via integer linear programming — an extension beyond
+// the paper.
+//
+// §1 frames the design space: general frameworks need "relatively
+// expensive tests based on techniques like parametric integer
+// programming", while this paper trades generality for cheap
+// distance/direction tests. Direction vectors are per-position convex
+// hulls, so they lose cross-position correlation: a transformation row
+// like t = J + I - K can be legal even though t·d straddles zero on
+// the hulls. This module re-runs Definition 6 exactly: for every
+// conflicting access pair and ordering disjunct, it asks the Omega
+// solver directly whether the transformed destination can fail to
+// follow the transformed source. Costlier than the interval test
+// (bench_framework quantifies the gap) but complete for fixed
+// matrices — it accepts, for instance, the bordered Cholesky forms
+// that hull-based legality cannot (see test_exact_legality.cpp).
+#pragma once
+
+#include <map>
+
+#include "dependence/system.hpp"
+#include "transform/block_structure.hpp"
+
+namespace inlt {
+
+struct ExactLegalityResult {
+  std::vector<std::string> violations;
+  /// Per statement: its unsatisfied self-dependences (source and
+  /// target mapped to the same instance), projected onto the
+  /// statement's own loop positions — the input Fig 7's Complete
+  /// needs for augmentation.
+  std::map<std::string, std::vector<DepVector>> unsatisfied_self;
+
+  bool legal() const { return violations.empty(); }
+};
+
+/// Definition 6, decided exactly per conflicting access pair.
+ExactLegalityResult check_legality_exact(const IvLayout& src,
+                                         const IntMat& m,
+                                         const AstRecovery& rec,
+                                         PadMode pad = PadMode::kDiagonal);
+
+}  // namespace inlt

@@ -1,0 +1,75 @@
+#include "transform/legality.hpp"
+
+#include <sstream>
+
+#include "instance/program_order.hpp"
+
+namespace inlt {
+
+LegalityResult check_legality(const IvLayout& src, const DependenceSet& deps,
+                              const IntMat& m, const AstRecovery& rec) {
+  return check_legality_with_target(src, deps, m, *rec.target_layout);
+}
+
+LegalityResult check_legality_with_target(const IvLayout& /*src*/,
+                                          const DependenceSet& deps,
+                                          const IntMat& m,
+                                          const IvLayout& tl) {
+  LegalityResult out;
+  for (size_t i = 0; i < deps.deps.size(); ++i) {
+    const Dependence& d = deps.deps[i];
+    DepVector td = transform_dep(m, d.vector);
+    // Loops common to the two statements in the *transformed* program.
+    // Linear transformations preserve the tree, so these are the same
+    // tree loops at their (possibly reordered) target positions.
+    std::vector<int> common = tl.common_loop_positions(d.src, d.dst);
+    DepVector p = project_dep(td, common);
+    switch (lex_status(p)) {
+      case LexStatus::kPositive:
+        break;  // satisfied by a common loop
+      case LexStatus::kNonNegative:
+        // P may be zero: the zero case must be covered exactly like
+        // kZero; the positive case is already fine.
+        [[fallthrough]];
+      case LexStatus::kZero:
+        if (d.src == d.dst) {
+          out.unsatisfied.push_back(static_cast<int>(i));
+        } else if (!(syntactically_before(tl, d.src, d.dst) &&
+                     d.src != d.dst)) {
+          std::ostringstream os;
+          os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst
+             << " " << dep_to_string(d.vector)
+             << ": projection zero but " << d.src
+             << " does not precede " << d.dst << " in the new AST";
+          out.violations.push_back(os.str());
+        }
+        break;
+      case LexStatus::kNegative: {
+        std::ostringstream os;
+        os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " "
+           << dep_to_string(d.vector) << ": transformed projection "
+           << dep_to_string(p) << " is lexicographically negative";
+        out.violations.push_back(os.str());
+        break;
+      }
+      case LexStatus::kUnknown: {
+        std::ostringstream os;
+        os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " "
+           << dep_to_string(d.vector) << ": transformed projection "
+           << dep_to_string(p)
+           << " cannot be proven lexicographically non-negative";
+        out.violations.push_back(os.str());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+LegalityResult check_legality(const IvLayout& src, const DependenceSet& deps,
+                              const IntMat& m) {
+  AstRecovery rec = recover_ast(src, m);
+  return check_legality(src, deps, m, rec);
+}
+
+}  // namespace inlt

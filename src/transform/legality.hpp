@@ -1,0 +1,47 @@
+// The legality test of Definition 6.
+//
+// A block-structured matrix M is legal when, for every dependence d
+// from S1 to S2, the projection P of M·d onto the loops common to S1
+// and S2 (in the transformed program) is lexicographically positive,
+// or is zero with S1 syntactically before S2 in the new AST. A zero
+// projection with S1 == S2 leaves d *unsatisfied*: the augmentation
+// step must add loops around S1 that carry it (§5.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dependence/analyzer.hpp"
+#include "transform/block_structure.hpp"
+
+namespace inlt {
+
+struct LegalityResult {
+  /// Empty violations == legal.
+  std::vector<std::string> violations;
+  /// Indices into deps.deps of self-dependences left unsatisfied
+  /// (projection exactly zero) — input to augmentation.
+  std::vector<int> unsatisfied;
+
+  bool legal() const { return violations.empty(); }
+};
+
+/// Check Definition 6 for a recovered transformation. `rec` must come
+/// from recover_ast(src, m).
+LegalityResult check_legality(const IvLayout& src, const DependenceSet& deps,
+                              const IntMat& m, const AstRecovery& rec);
+
+/// Convenience: recover + check in one step.
+LegalityResult check_legality(const IvLayout& src, const DependenceSet& deps,
+                              const IntMat& m);
+
+/// Definition 6 against an explicit target layout — works for the
+/// non-square matrices of loop distribution and jamming too (m maps
+/// source instance vectors to target ones; the projection target is
+/// the pair's common loops in the supplied target program).
+LegalityResult check_legality_with_target(const IvLayout& src,
+                                          const DependenceSet& deps,
+                                          const IntMat& m,
+                                          const IvLayout& target_layout);
+
+}  // namespace inlt

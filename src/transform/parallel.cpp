@@ -1,0 +1,82 @@
+#include "transform/parallel.hpp"
+
+#include "linalg/gauss.hpp"
+
+namespace inlt {
+
+std::vector<IntVec> parallel_row_basis(const IvLayout& layout,
+                                       const DependenceSet& deps) {
+  // Positions a parallel row may use: loop positions where every
+  // dependence entry is exact.
+  std::vector<int> allowed;
+  for (int q : layout.all_loop_positions()) {
+    bool ok = true;
+    for (const Dependence& d : deps.deps)
+      if (!d.vector[q].is_exact()) ok = false;
+    if (ok) allowed.push_back(q);
+  }
+  if (allowed.empty()) return {};
+
+  // r · d == 0 for every dependence: r (restricted to `allowed`) lies
+  // in the nullspace of the dependence matrix's transpose.
+  IntMat constraints(static_cast<int>(deps.deps.size()),
+                     static_cast<int>(allowed.size()));
+  for (size_t i = 0; i < deps.deps.size(); ++i)
+    for (size_t k = 0; k < allowed.size(); ++k)
+      constraints(static_cast<int>(i), static_cast<int>(k)) =
+          deps.deps[i].vector[allowed[k]].lo();
+
+  std::vector<IntVec> out;
+  for (const IntVec& v : integer_nullspace(constraints)) {
+    IntVec full(layout.size(), 0);
+    for (size_t k = 0; k < allowed.size(); ++k) full[allowed[k]] = v[k];
+    out.push_back(std::move(full));
+  }
+  // No dependences at all: every loop direction is parallel.
+  if (deps.deps.empty()) {
+    out.clear();
+    for (int q : layout.all_loop_positions()) {
+      IntVec full(layout.size(), 0);
+      full[q] = 1;
+      out.push_back(std::move(full));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> parallel_loops(const IvLayout& layout,
+                                        const DependenceSet& deps) {
+  // A loop is doall when no dependence is *carried at* it: for every
+  // dependence whose statements it encloses, either an outer common
+  // loop definitely carries the dependence first, or the entry at this
+  // loop is exactly zero.
+  std::vector<std::string> out;
+  for (int q : layout.all_loop_positions()) {
+    bool carries = false;
+    for (const Dependence& d : deps.deps) {
+      std::vector<int> common = layout.common_loop_positions(d.src, d.dst);
+      bool encloses = false;
+      for (int c : common)
+        if (c == q) encloses = true;
+      if (!encloses) continue;  // the dependence lives elsewhere
+      bool carried_outside = false;
+      bool ambiguous_prefix = false;
+      for (int c : common) {
+        if (c == q) break;
+        const DepEntry& e = d.vector[c];
+        if (e.definitely_positive()) {
+          carried_outside = true;
+          break;
+        }
+        if (!e.is_zero()) ambiguous_prefix = true;  // may or may not carry
+      }
+      if (carried_outside) continue;
+      const DepEntry& here = d.vector[q];
+      if (ambiguous_prefix || !here.is_zero()) carries = true;
+    }
+    if (!carries) out.push_back(layout.positions()[q].loop->var());
+  }
+  return out;
+}
+
+}  // namespace inlt

@@ -1,0 +1,26 @@
+// Parallelism detection (§1/§7): "parallelizing a loop requires
+// finding a row in the nullspace of the dependence matrix".
+//
+// A target loop whose row annihilates every dependence column carries
+// no dependence: its iterations can run in parallel (a doall). This
+// module computes an integer basis of such rows, restricted to the
+// positions where every dependence entry is an exact distance (a
+// direction entry can only be annihilated by a zero coefficient).
+#pragma once
+
+#include "dependence/analyzer.hpp"
+
+namespace inlt {
+
+/// Basis of full-width rows r (supported on loop positions) with
+/// r · d == 0 for every dependence column d. Empty when every loop
+/// direction carries some dependence.
+std::vector<IntVec> parallel_row_basis(const IvLayout& layout,
+                                       const DependenceSet& deps);
+
+/// Names of the source loops that are doall as written: their unit row
+/// is (up to scale) in the parallel basis.
+std::vector<std::string> parallel_loops(const IvLayout& layout,
+                                        const DependenceSet& deps);
+
+}  // namespace inlt

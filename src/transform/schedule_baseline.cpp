@@ -1,0 +1,116 @@
+#include "transform/schedule_baseline.hpp"
+
+#include "linalg/project.hpp"
+#include "support/check.hpp"
+
+namespace inlt {
+
+namespace {
+
+// θ_side as a LinExpr over the pair system's variables.
+LinExpr theta_expr(const ConstraintSystem& cs, const IvLayout& layout,
+                   const std::string& label, const StatementSchedule& s,
+                   bool src_side) {
+  const auto& info = layout.stmt_info(label);
+  LinExpr e = cs.zero_expr();
+  e.constant = s.offset;
+  for (size_t j = 0; j < info.loop_positions.size(); ++j) {
+    if (s.coef[j] == 0) continue;
+    std::string v = layout.positions()[info.loop_positions[j]].loop->var();
+    int idx = cs.var((src_side ? "s$" : "d$") + v);
+    e.coef[idx] = checked_add(e.coef[idx], s.coef[j]);
+  }
+  return e;
+}
+
+// Strict satisfaction: no solution with θ_dst - θ_src <= 0.
+bool dep_strictly_satisfied(const PairSystem& ps, const IvLayout& layout,
+                            const StatementSchedule& src_sched,
+                            const StatementSchedule& dst_sched) {
+  ConstraintSystem cs = ps.base;
+  LinExpr dst = theta_expr(cs, layout, ps.dst, dst_sched, false);
+  LinExpr src = theta_expr(cs, layout, ps.src, src_sched, true);
+  // violated iff feasible: src - dst >= 0.
+  LinExpr viol = cs.zero_expr();
+  for (int i = 0; i < cs.num_vars(); ++i)
+    viol.coef[i] = checked_sub(src.coef[i], dst.coef[i]);
+  viol.constant = checked_sub(src.constant, dst.constant);
+  cs.add_ge(viol);
+  return !integer_feasible(cs);
+}
+
+struct Searcher {
+  const IvLayout& layout;
+  const ScheduleSearchOptions& opts;
+  ScheduleSearchStats* stats;
+  std::vector<PairSystem> pairs;
+  std::vector<std::string> labels;  // syntactic order
+  ScheduleMap assigned;
+
+  bool consistent_with(const std::string& just_assigned) {
+    for (const PairSystem& ps : pairs) {
+      if (ps.src != just_assigned && ps.dst != just_assigned) continue;
+      auto si = assigned.find(ps.src);
+      auto di = assigned.find(ps.dst);
+      if (si == assigned.end() || di == assigned.end()) continue;
+      if (stats) ++stats->candidates_checked;
+      if (!dep_strictly_satisfied(ps, layout, si->second, di->second))
+        return false;
+    }
+    return true;
+  }
+
+  bool assign(size_t idx) {
+    if (idx == labels.size()) return true;
+    const std::string& label = labels[idx];
+    int k = static_cast<int>(
+        layout.stmt_info(label).loop_positions.size());
+    StatementSchedule cand;
+    cand.coef.assign(k, opts.coef_min);
+    cand.offset = opts.offset_min;
+    for (;;) {
+      assigned[label] = cand;
+      if (consistent_with(label) && assign(idx + 1)) return true;
+      assigned.erase(label);
+      // Advance the candidate (odometer over coef entries + offset).
+      int d = 0;
+      while (d < k && cand.coef[d] == opts.coef_max)
+        cand.coef[d++] = opts.coef_min;
+      if (d < k) {
+        ++cand.coef[d];
+        continue;
+      }
+      if (cand.offset < opts.offset_max) {
+        for (int q = 0; q < k; ++q) cand.coef[q] = opts.coef_min;
+        ++cand.offset;
+        continue;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ScheduleMap> find_schedule(const IvLayout& layout,
+                                         const ScheduleSearchOptions& opts,
+                                         ScheduleSearchStats* stats) {
+  Searcher s{layout, opts, stats, build_pair_systems(layout),
+             layout.stmt_labels(), {}};
+  if (s.assign(0)) return s.assigned;
+  return std::nullopt;
+}
+
+bool schedule_is_valid(const IvLayout& layout, const ScheduleMap& sched) {
+  for (const PairSystem& ps : build_pair_systems(layout)) {
+    auto si = sched.find(ps.src);
+    auto di = sched.find(ps.dst);
+    INLT_CHECK_MSG(si != sched.end() && di != sched.end(),
+                   "schedule missing a statement");
+    if (!dep_strictly_satisfied(ps, layout, si->second, di->second))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace inlt

@@ -1,0 +1,54 @@
+// Baseline: per-statement affine schedules (the general frameworks of
+// §1's related work — Feautrier [6,7], Kelly & Pugh [8] — in
+// miniature).
+//
+// Each statement S gets its own one-dimensional affine schedule
+// θ_S(i) = c·i + d; the schedule is valid when every dependence is
+// strictly satisfied: θ_dst(dst) − θ_src(src) >= 1 for all dependent
+// instance pairs. Validity of a candidate is an integer-infeasibility
+// query per dependence (exactly the "expensive tests based on
+// techniques like parametric integer programming" the paper contrasts
+// its framework with); finding a schedule is a search over per-
+// statement coefficient assignments. bench_framework measures the cost
+// gap against the paper's completion procedure.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "dependence/system.hpp"
+
+namespace inlt {
+
+/// θ_S: coefficients over the statement's loops (outermost first) plus
+/// a constant offset.
+struct StatementSchedule {
+  IntVec coef;
+  i64 offset = 0;
+};
+
+using ScheduleMap = std::map<std::string, StatementSchedule>;
+
+struct ScheduleSearchOptions {
+  i64 coef_min = 0;
+  i64 coef_max = 2;
+  i64 offset_min = 0;
+  i64 offset_max = 2;
+};
+
+struct ScheduleSearchStats {
+  i64 candidates_checked = 0;  ///< ILP validity queries issued
+};
+
+/// Exhaustive (pruned) search for a valid one-dimensional schedule.
+/// Returns nullopt when none exists within the coefficient box — for
+/// most imperfect nests multidimensional schedules would be required,
+/// which is itself part of the comparison story.
+std::optional<ScheduleMap> find_schedule(
+    const IvLayout& layout, const ScheduleSearchOptions& opts = {},
+    ScheduleSearchStats* stats = nullptr);
+
+/// Is the given schedule valid (every dependence strictly satisfied)?
+bool schedule_is_valid(const IvLayout& layout, const ScheduleMap& sched);
+
+}  // namespace inlt

@@ -1,0 +1,100 @@
+// Loop scaling through code generation: non-unimodular N_S handled by
+// single-iteration reconstruction loops whose ceil/floor bounds encode
+// the stride condition (§4.1's scaling + §5's machinery).
+#include <gtest/gtest.h>
+
+#include "codegen/generate.hpp"
+#include "codegen/simplify.hpp"
+#include "exec/verify.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(ScalingCodegen, PerfectNestScaleInner) {
+  Program p = gallery::fig3_perfect_nest();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = loop_scaling(layout, "J", 2);
+  CodegenResult res = generate_code(layout, deps, m);
+  for (i64 n : {1, 2, 5, 9}) {
+    VerifyResult v = verify_equivalence(p, res.program, {{"N", n}});
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string() << "\n"
+                              << print_program(res.program);
+  }
+}
+
+TEST(ScalingCodegen, ImperfectNestScaleOuter) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = loop_scaling(layout, "I", 3);
+  CodegenResult res = generate_code(layout, deps, m);
+  for (i64 n : {1, 2, 4, 7}) {
+    VerifyResult v = verify_equivalence(p, res.program, {{"N", n}});
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string() << "\n"
+                              << print_program(res.program);
+  }
+}
+
+TEST(ScalingCodegen, ScaleComposedWithSkew) {
+  // Scaling by 2 then skewing by the scaled loop: a genuinely
+  // non-unimodular composite.
+  Program p = gallery::fig3_perfect_nest();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = mat_mul(loop_skew(layout, "I", "J", 1),
+                     loop_scaling(layout, "J", 2));
+  CodegenResult res = generate_code(layout, deps, m);
+  for (i64 n : {1, 3, 6}) {
+    VerifyResult v = verify_equivalence(p, res.program, {{"N", n}});
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string() << "\n"
+                              << print_program(res.program);
+  }
+}
+
+TEST(ScalingCodegen, ReconstructionLoopShapes) {
+  Program p = gallery::fig3_perfect_nest();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = loop_scaling(layout, "J", 2);
+  CodegenResult res = generate_code(layout, deps, m);
+  std::string text = print_program(res.program);
+  // A fresh reconstruction loop with ceil/floor-of-2 bounds wraps the
+  // statement.
+  EXPECT_NE(text.find("ceil("), std::string::npos) << text;
+  EXPECT_NE(text.find(", 2)"), std::string::npos) << text;
+  // It executes exactly one iteration on even target points and zero
+  // on odd ones: instance counts already checked by verification; also
+  // check the loop nest depth grew by one.
+  const Node* n = res.program.roots()[0].get();
+  int depth = 0;
+  while (n->is_loop()) {
+    ++depth;
+    n = n->children()[0].get();
+  }
+  EXPECT_EQ(depth, 3);  // I, scaled J, reconstruction loop
+}
+
+TEST(ScalingCodegen, ScalingAugmentationInterplay) {
+  // §5.4's skew (which needs augmentation for S1) composed with a
+  // scaling of J: both mechanisms at once.
+  Program p = gallery::augmentation_example();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = mat_mul(loop_scaling(layout, "J", 2),
+                     loop_skew(layout, "I", "J", -1));
+  CodegenResult res = generate_code(layout, deps, m);
+  for (i64 n : {1, 2, 5}) {
+    VerifyResult v =
+        verify_equivalence(p, res.program, {{"N", n}}, FillKind::kRandom);
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string() << "\n"
+                              << print_program(res.program);
+  }
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,154 @@
+// The simplification pass: reproduces §5.5's hand-simplified listing
+// from the raw generated code, and never changes semantics.
+#include <gtest/gtest.h>
+
+#include "codegen/generate.hpp"
+#include "codegen/simplify.hpp"
+#include "exec/verify.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "transform/completion.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(Simplify, SkewExampleMatchesPaperSimplifiedForm) {
+  Program src = gallery::augmentation_example();
+  IvLayout layout(src);
+  DependenceSet deps = analyze_dependences(layout);
+  CodegenResult res =
+      generate_code(layout, deps, loop_skew(layout, "I", "J", -1));
+  Program simp = simplify_program(res.program);
+  std::string text = print_program(simp);
+
+  // §5.5 (first listing, after our redundancy elimination): outer
+  // bound collapses from min(1-N, 0) to 1-N, S2's guards disappear,
+  // the J-loop upper collapses from min(N, N-I) to N (since I <= 0),
+  // and S1 keeps a single `I >= 0` guard (== I == 0 in context).
+  ASSERT_EQ(simp.roots().size(), 1u);
+  const Node& outer = *simp.roots()[0];
+  EXPECT_EQ(outer.lower().to_string(true), "-N + 1") << text;
+  EXPECT_EQ(outer.upper().to_string(false), "0") << text;
+  ASSERT_EQ(outer.num_children(), 2);
+  const Node& s1_wrap = *outer.children()[0];
+  EXPECT_EQ(s1_wrap.guards().size(), 1u) << text;
+  EXPECT_EQ(s1_wrap.guards()[0].to_string(), "I >= 0") << text;
+  const Node& jloop = *outer.children()[1];
+  EXPECT_EQ(jloop.upper().to_string(false), "N") << text;
+  // S2 itself carries no guards anymore.
+  const Node& s2 = *jloop.children()[0];
+  EXPECT_TRUE(s2.guards().empty()) << text;
+}
+
+TEST(Simplify, PreservesSemantics) {
+  Program src = gallery::augmentation_example();
+  IvLayout layout(src);
+  DependenceSet deps = analyze_dependences(layout);
+  CodegenResult res =
+      generate_code(layout, deps, loop_skew(layout, "I", "J", -1));
+  Program simp = simplify_program(res.program);
+  for (i64 n : {1, 2, 5, 11}) {
+    VerifyResult v =
+        verify_equivalence(src, simp, {{"N", n}}, FillKind::kRandom);
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string();
+  }
+}
+
+TEST(Simplify, LeftLookingCholeskySimplifiesAndVerifies) {
+  Program src = gallery::cholesky();
+  IvLayout layout(src);
+  DependenceSet deps = analyze_dependences(layout);
+  IntVec first(7, 0);
+  first[layout.loop_position("L")] = 1;
+  IntMat m = complete_transformation(layout, deps, {first}).matrix;
+  Program raw = generate_code(layout, deps, m).program;
+  Program simp = simplify_program(raw);
+  for (i64 n : {1, 3, 7}) {
+    VerifyResult v = verify_equivalence(src, simp, {{"N", n}});
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string() << "\n"
+                              << print_program(simp);
+  }
+  // Simplification should not make the program longer.
+  EXPECT_LE(print_program(simp).size(), print_program(raw).size());
+}
+
+TEST(Simplify, DropsConstantFoldableBounds) {
+  Program p = parse_program(R"(
+param N
+do I = max(1, 0, -5), min(N, N)
+  S1: A(I) = 1.0
+end
+)");
+  Program s = simplify_program(p);
+  const Node& loop = *s.roots()[0];
+  EXPECT_EQ(loop.lower().to_string(true), "1");
+  EXPECT_EQ(loop.upper().to_string(false), "N");
+}
+
+TEST(Simplify, RemovesDeadGuardedSubtree) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  if (-I >= 0)
+    S1: A(I) = 1.0
+  endif
+  S2: B(I) = 2.0
+end
+)");
+  // I >= 1 makes -I >= 0 impossible: S1 disappears.
+  Program s = simplify_program(p);
+  EXPECT_EQ(s.statements().size(), 1u);
+  EXPECT_EQ(s.statements()[0].label(), "S2");
+}
+
+TEST(Simplify, RemovesEmptyLoops) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  do J = N + 1, N
+    S1: A(I, J) = 1.0
+  end
+  S2: B(I) = 2.0
+end
+)");
+  Program s = simplify_program(p);
+  EXPECT_EQ(s.statements().size(), 1u);
+}
+
+TEST(Simplify, KeepsNecessaryGuards) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  if (I - 3 >= 0)
+    S1: A(I) = 1.0
+  endif
+end
+)");
+  Program s = simplify_program(p);
+  const auto& stmt = *s.roots()[0]->children()[0];
+  ASSERT_EQ(stmt.guards().size(), 1u);
+}
+
+TEST(Simplify, TrivialDivisibilityGuardDropped) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  if ((I) mod 1 == 0)
+    S1: A(I) = 1.0
+  endif
+end
+)");
+  Program s = simplify_program(p);
+  EXPECT_TRUE(s.roots()[0]->children()[0]->guards().empty());
+}
+
+TEST(Simplify, IdentityOnAlreadyCleanPrograms) {
+  Program p = gallery::cholesky();
+  Program s = simplify_program(p);
+  EXPECT_EQ(print_program(s), print_program(p));
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,120 @@
+#include "common/brute_force.hpp"
+
+#include <set>
+
+#include "instance/enumerate.hpp"
+
+namespace inlt::testutil {
+
+namespace {
+
+struct CellAccess {
+  std::string label;
+  IntVec iv;
+  bool is_write;
+};
+
+}  // namespace
+
+std::vector<ObservedDep> observe_dependences(
+    const IvLayout& layout, const std::map<std::string, i64>& params,
+    PadMode pad) {
+  const Program& prog = layout.program();
+  std::map<std::string, std::vector<CellAccess>> history;  // cell key
+  std::set<ObservedDep> seen;
+
+  enumerate_instances(prog, params, [&](const DynamicInstance& di) {
+    const auto& info = layout.stmt_info(di.label);
+    // Environment: params + this statement's loop values.
+    std::map<std::string, i64> env = params;
+    for (size_t k = 0; k < info.loop_positions.size(); ++k) {
+      const IvPosition& pos = layout.positions()[info.loop_positions[k]];
+      env[pos.loop->var()] = di.iter[k];
+    }
+    IntVec iv = layout.instance_vector(di, pad);
+    for (const ArrayAccess& acc : info.stmt->stmt_data().accesses()) {
+      std::string key = acc.array;
+      for (const AffineExpr& s : acc.subscripts)
+        key += "," + std::to_string(s.eval(env));
+      auto& hist = history[key];
+      for (const CellAccess& prev : hist) {
+        if (!prev.is_write && !acc.is_write) continue;
+        // Accesses inside one dynamic instance are not reorderable
+        // events; the framework (like the paper) only tracks cross-
+        // instance dependences.
+        if (prev.label == di.label && prev.iv == iv) continue;
+        ObservedDep d;
+        d.src = prev.label;
+        d.dst = di.label;
+        d.kind = prev.is_write
+                     ? (acc.is_write ? DepKind::kOutput : DepKind::kFlow)
+                     : DepKind::kAnti;
+        d.array = acc.array;
+        d.diff = vec_sub(iv, prev.iv);
+        seen.insert(std::move(d));
+      }
+      hist.push_back({di.label, iv, acc.is_write});
+    }
+  });
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<ObservedDep> observe_value_flow_dependences(
+    const IvLayout& layout, const std::map<std::string, i64>& params,
+    PadMode pad) {
+  const Program& prog = layout.program();
+  struct LastWrite {
+    std::string label;
+    IntVec iv;
+  };
+  std::map<std::string, LastWrite> last;  // cell -> most recent writer
+  std::set<ObservedDep> seen;
+
+  enumerate_instances(prog, params, [&](const DynamicInstance& di) {
+    const auto& info = layout.stmt_info(di.label);
+    std::map<std::string, i64> env = params;
+    for (size_t k = 0; k < info.loop_positions.size(); ++k) {
+      const IvPosition& pos = layout.positions()[info.loop_positions[k]];
+      env[pos.loop->var()] = di.iter[k];
+    }
+    IntVec iv = layout.instance_vector(di, pad);
+    auto accs = info.stmt->stmt_data().accesses();
+    // Reads first (RHS evaluates before the write).
+    for (const ArrayAccess& acc : accs) {
+      if (acc.is_write) continue;
+      std::string key = acc.array;
+      for (const AffineExpr& s : acc.subscripts)
+        key += "," + std::to_string(s.eval(env));
+      auto it = last.find(key);
+      if (it == last.end()) continue;  // reads an initial value
+      if (it->second.label == di.label && it->second.iv == iv) continue;
+      ObservedDep d;
+      d.src = it->second.label;
+      d.dst = di.label;
+      d.kind = DepKind::kFlow;
+      d.array = acc.array;
+      d.diff = vec_sub(iv, it->second.iv);
+      seen.insert(std::move(d));
+    }
+    for (const ArrayAccess& acc : accs) {
+      if (!acc.is_write) continue;
+      std::string key = acc.array;
+      for (const AffineExpr& s : acc.subscripts)
+        key += "," + std::to_string(s.eval(env));
+      last[key] = {di.label, iv};
+    }
+  });
+  return {seen.begin(), seen.end()};
+}
+
+bool covers(const DepVector& hull, const IntVec& diff) {
+  if (hull.size() != diff.size()) return false;
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const DepEntry& e = hull[i];
+    if (!e.lo_unbounded() && diff[i] < e.lo()) return false;
+    if (!e.hi_unbounded() && diff[i] > e.hi()) return false;
+  }
+  return true;
+}
+
+}  // namespace inlt::testutil

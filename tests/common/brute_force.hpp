@@ -1,0 +1,44 @@
+// Test oracle: observe the real dependences of a program by executing
+// its loop structure and tracking every array cell's access history.
+// Used to validate the analyzer: every observed dependence must be
+// covered by an analyzer column, and exact analyzer columns must be
+// witnessed by an observation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dependence/analyzer.hpp"
+#include "instance/layout.hpp"
+
+namespace inlt::testutil {
+
+struct ObservedDep {
+  std::string src;
+  std::string dst;
+  DepKind kind = DepKind::kFlow;
+  std::string array;
+  IntVec diff;  ///< instance-vector difference dst − src
+
+  friend bool operator==(const ObservedDep&, const ObservedDep&) = default;
+  friend auto operator<=>(const ObservedDep&, const ObservedDep&) = default;
+};
+
+/// All memory-based dependences realized at the given parameter values.
+std::vector<ObservedDep> observe_dependences(
+    const IvLayout& layout, const std::map<std::string, i64>& params,
+    PadMode pad = PadMode::kDiagonal);
+
+/// Does the interval vector contain the exact difference?
+bool covers(const DepVector& hull, const IntVec& diff);
+
+/// Value-based (last-write) flow dependences only: each read pairs
+/// with the write whose value it actually observes. The paper's §3/§6
+/// matrices print these representatives; the analyzer reports the
+/// memory-based hulls that subsume them.
+std::vector<ObservedDep> observe_value_flow_dependences(
+    const IvLayout& layout, const std::map<std::string, i64>& params,
+    PadMode pad = PadMode::kDiagonal);
+
+}  // namespace inlt::testutil

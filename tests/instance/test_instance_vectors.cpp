@@ -1,0 +1,180 @@
+// Reproduces Fig 1/Fig 2 (§2.1): instance vectors of the running
+// example, padding, and the order-preservation of Theorem 1.
+#include <gtest/gtest.h>
+
+#include "instance/enumerate.hpp"
+#include "instance/layout.hpp"
+#include "instance/program_order.hpp"
+#include "ir/gallery.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(InstanceVectors, Fig1LayoutShape) {
+  Program p = gallery::fig1_running_example();
+  IvLayout layout(p);
+  // do I { do J { S1; S2 } S3 }: positions are
+  // [I, e2@I (to S3), e1@I (to J loop), J, e2@J (to S2), e1@J (to S1)].
+  EXPECT_EQ(layout.size(), 6);
+  EXPECT_EQ(layout.positions()[0].name, "I");
+  EXPECT_EQ(layout.positions()[3].name, "J");
+  EXPECT_EQ(layout.loop_position("I"), 0);
+  EXPECT_EQ(layout.loop_position("J"), 3);
+}
+
+TEST(InstanceVectors, Fig2VectorsAndOrder) {
+  Program p = gallery::fig1_running_example();
+  IvLayout layout(p);
+  // S2 at I=2, J=3 (the leftmost AST of Fig 1(b)).
+  IntVec s2 = layout.instance_vector({"S2", {2, 3}});
+  EXPECT_EQ(s2, (IntVec{2, 0, 1, 3, 1, 0}));
+  // S3 at I=5 (middle AST): J position is padded diagonally with 5.
+  IntVec s3 = layout.instance_vector({"S3", {5}});
+  EXPECT_EQ(s3, (IntVec{5, 1, 0, 5, 0, 0}));
+  // S1 at I=2, J=3.
+  IntVec s1 = layout.instance_vector({"S1", {2, 3}});
+  EXPECT_EQ(s1, (IntVec{2, 0, 1, 3, 0, 1}));
+  // Execution order S1(2,3) < S2(2,3) < S3(5) matches lex order.
+  EXPECT_TRUE(lex_less(s1, s2));
+  EXPECT_TRUE(lex_less(s2, s3));
+}
+
+TEST(InstanceVectors, PaddedPositionsOfS3) {
+  Program p = gallery::fig1_running_example();
+  IvLayout layout(p);
+  const auto& info = layout.stmt_info("S3");
+  // "the entries for the J loop in instance vectors for dynamic
+  // instances of S3 are padded positions" (§2.1).
+  ASSERT_EQ(info.padded_positions.size(), 1u);
+  EXPECT_EQ(info.padded_positions[0], layout.loop_position("J"));
+  // Lemma 2: a statement in a perfect nest has no padded positions.
+  EXPECT_TRUE(layout.stmt_info("S1").padded_positions.empty());
+}
+
+TEST(InstanceVectors, ZeroPadAblation) {
+  Program p = gallery::fig1_running_example();
+  IvLayout layout(p);
+  IntVec s3 = layout.instance_vector({"S3", {5}}, PadMode::kZero);
+  EXPECT_EQ(s3, (IntVec{5, 1, 0, 0, 0, 0}));
+}
+
+TEST(InstanceVectors, SimplifiedCholeskyMatchesSection3) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  // §3: "The instance vector for the statement execution performing
+  // the write is [Iw, 0, 1, Iw]'."
+  EXPECT_EQ(layout.size(), 4);
+  EXPECT_EQ(layout.instance_vector({"S1", {7}}), (IntVec{7, 0, 1, 7}));
+  // "the instance vector for the statement execution performing the
+  // read is [Ir, 1, 0, Jr]'."
+  EXPECT_EQ(layout.instance_vector({"S2", {4, 6}}), (IntVec{4, 1, 0, 6}));
+}
+
+TEST(InstanceVectors, CholeskyLayoutMatchesSection6) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  // [K, e3, e2, e1, J, L, I] — 7 positions, as the 7-row dependence
+  // and transformation matrices of §6 require.
+  EXPECT_EQ(layout.size(), 7);
+  EXPECT_EQ(layout.positions()[0].name, "K");
+  EXPECT_EQ(layout.loop_position("J"), 4);
+  EXPECT_EQ(layout.loop_position("L"), 5);
+  EXPECT_EQ(layout.loop_position("I"), 6);
+  // S1 pads I, J, L diagonally with K.
+  EXPECT_EQ(layout.instance_vector({"S1", {3}}),
+            (IntVec{3, 0, 0, 1, 3, 3, 3}));
+  EXPECT_EQ(layout.instance_vector({"S2", {3, 5}}),
+            (IntVec{3, 0, 1, 0, 3, 3, 5}));
+  EXPECT_EQ(layout.instance_vector({"S3", {3, 5, 4}}),
+            (IntVec{3, 1, 0, 0, 5, 4, 3}));
+}
+
+TEST(InstanceVectors, Fig3SingleEdgeOptimization) {
+  // §2.2: instance vectors reduce to iteration vectors for perfect
+  // nests once redundant single edges are elided.
+  Program p = gallery::fig3_perfect_nest();
+  IvLayout layout(p);
+  EXPECT_EQ(layout.size(), 2);
+  EXPECT_EQ(layout.instance_vector({"S1", {2, 5}}), (IntVec{2, 5}));
+}
+
+TEST(InstanceVectors, InvertRoundTrips) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  DynamicInstance di{"S3", {3, 5, 4}};
+  EXPECT_EQ(layout.invert(layout.instance_vector(di)), di);
+  DynamicInstance d1{"S1", {9}};
+  EXPECT_EQ(layout.invert(layout.instance_vector(d1)), d1);
+}
+
+TEST(InstanceVectors, CommonLoopPositions) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  EXPECT_EQ(layout.common_loop_positions("S1", "S3"),
+            (std::vector<int>{0}));  // only K
+  EXPECT_EQ(layout.common_loop_positions("S3", "S3"),
+            (std::vector<int>{0, 4, 5}));  // K, J, L
+}
+
+// Theorem 1 as a property: for every pair of instances, execution
+// order equals lexicographic order of instance vectors, and L is
+// one-to-one. Swept over the gallery programs.
+class Theorem1Test : public ::testing::TestWithParam<int> {};
+
+Program gallery_program(int idx) {
+  switch (idx) {
+    case 0:
+      return gallery::fig1_running_example();
+    case 1:
+      return gallery::simplified_cholesky();
+    case 2:
+      return gallery::fig3_perfect_nest();
+    case 3:
+      return gallery::augmentation_example();
+    case 4:
+      return gallery::cholesky();
+    default:
+      return gallery::simplified_cholesky_distributed();
+  }
+}
+
+TEST_P(Theorem1Test, LexOrderEqualsExecutionOrder) {
+  Program p = gallery_program(GetParam());
+  IvLayout layout(p);
+  auto instances = all_instances(p, {{"N", 4}});
+  ASSERT_FALSE(instances.empty());
+  std::vector<IntVec> ivs;
+  for (const auto& di : instances)
+    ivs.push_back(layout.instance_vector(di));
+  for (size_t i = 0; i + 1 < ivs.size(); ++i) {
+    // Execution order is the enumeration order; vectors must strictly
+    // increase (strictness also gives injectivity).
+    EXPECT_TRUE(lex_less(ivs[i], ivs[i + 1]))
+        << "at " << i << ": " << vec_to_string(ivs[i]) << " !< "
+        << vec_to_string(ivs[i + 1]);
+  }
+  // Definition-2 comparison agrees with enumeration order.
+  for (size_t i = 0; i < instances.size(); i += 7)
+    for (size_t j = 0; j < instances.size(); j += 5) {
+      int expected = i < j ? -1 : (i == j ? 0 : 1);
+      EXPECT_EQ(compare_execution_order(layout, instances[i], instances[j]),
+                expected);
+    }
+  // L⁻¹ inverts L on every instance.
+  for (const auto& di : instances)
+    EXPECT_EQ(layout.invert(layout.instance_vector(di)), di);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gallery, Theorem1Test, ::testing::Range(0, 6));
+
+TEST(ProgramOrder, SyntacticOrder) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  EXPECT_TRUE(syntactically_before(layout, "S1", "S2"));
+  EXPECT_TRUE(syntactically_before(layout, "S2", "S3"));
+  EXPECT_TRUE(syntactically_before(layout, "S1", "S1"));  // reflexive
+  EXPECT_FALSE(syntactically_before(layout, "S3", "S1"));
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,113 @@
+// IvLayout segment bookkeeping (the block boundaries of Fig 5) and
+// assorted layout edge cases.
+#include <gtest/gtest.h>
+
+#include "instance/layout.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(LayoutSegments, CholeskySegments) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  // Virtual root spans everything.
+  const auto& root = layout.segment(nullptr);
+  EXPECT_EQ(root.start, 0);
+  EXPECT_EQ(root.end, 7);
+  EXPECT_EQ(root.loop_pos, -1);
+
+  const Node* k = p.roots()[0].get();
+  const auto& kseg = layout.segment(k);
+  EXPECT_EQ(kseg.loop_pos, 0);
+  EXPECT_EQ(kseg.start, 0);
+  EXPECT_EQ(kseg.end, 7);
+  ASSERT_EQ(kseg.child_edge_pos.size(), 3u);
+  // Eq. (1): edges e3, e2, e1 occupy positions 1, 2, 3.
+  EXPECT_EQ(kseg.child_edge_pos[2], 1);
+  EXPECT_EQ(kseg.child_edge_pos[1], 2);
+  EXPECT_EQ(kseg.child_edge_pos[0], 3);
+
+  // The J loop's segment covers [J, L] = positions 4..6.
+  const Node* jloop = k->children()[2].get();
+  const auto& jseg = layout.segment(jloop);
+  EXPECT_EQ(jseg.start, 4);
+  EXPECT_EQ(jseg.end, 6);
+  // Single-child nodes have no edge positions.
+  EXPECT_EQ(jseg.child_edge_pos, (std::vector<int>{-1}));
+}
+
+TEST(LayoutSegments, SegmentsAreNestedAndDisjointAcrossSiblings) {
+  Program p = gallery::fig1_running_example();
+  IvLayout layout(p);
+  const Node* i = p.roots()[0].get();
+  const Node* jloop = i->children()[0].get();
+  const auto& iseg = layout.segment(i);
+  const auto& jseg = layout.segment(jloop);
+  EXPECT_LE(iseg.start, jseg.start);
+  EXPECT_GE(iseg.end, jseg.end);
+}
+
+TEST(LayoutSegments, UnknownNodeThrows) {
+  Program p = gallery::cholesky();
+  Program q = gallery::cholesky();
+  IvLayout layout(p);
+  EXPECT_THROW(layout.segment(q.roots()[0].get()), Error);
+}
+
+TEST(LayoutMisc, LoopPositionThrowsOnUnknownVar) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_THROW(layout.loop_position("Q"), Error);
+}
+
+TEST(LayoutMisc, InvertRejectsMalformedVectors) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_THROW(layout.invert({1, 1, 1, 1}), Error);  // two edges set
+  EXPECT_THROW(layout.invert({1, 0, 0, 1}), Error);  // no edge set
+  EXPECT_THROW(layout.invert({1, 0, 1}), Error);     // wrong length
+}
+
+TEST(LayoutMisc, InstanceVectorArityChecked) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_THROW(layout.instance_vector({"S2", {1}}), Error);
+  EXPECT_THROW(layout.instance_vector({"S9", {1}}), Error);
+}
+
+TEST(LayoutMisc, StatementAtTopLevel) {
+  // A loopless top-level statement gets only edge coordinates.
+  Program p = parse_program(R"(
+param N
+S0: A(0) = 1.0
+do I = 1, N
+  S1: A(I) = A(I - 1) + 1.0
+end
+)");
+  IvLayout layout(p);
+  // [e2@root, e1@root, I]
+  EXPECT_EQ(layout.size(), 3);
+  EXPECT_EQ(layout.instance_vector({"S0", {}}), (IntVec{0, 1, 0}));
+  EXPECT_EQ(layout.instance_vector({"S1", {4}}), (IntVec{1, 0, 4}));
+  EXPECT_TRUE(lex_less(layout.instance_vector({"S0", {}}),
+                       layout.instance_vector({"S1", {1}})));
+}
+
+TEST(LayoutMisc, GuardedProgramsRejectedByAnalyzerOnly) {
+  // Layouts of generated (guarded) programs are fine; only the
+  // dependence analyzer insists on guard-free sources.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  if (I - 2 >= 0)
+    S1: A(I) = 1.0
+  endif
+end
+)");
+  EXPECT_NO_THROW(IvLayout{p});
+}
+
+}  // namespace
+}  // namespace inlt

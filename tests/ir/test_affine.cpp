@@ -1,0 +1,106 @@
+#include "ir/affine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace inlt {
+namespace {
+
+TEST(Affine, ConstructionAndAccess) {
+  AffineExpr e = AffineExpr::variable("I");
+  e.add_term("J", 2).add_constant(-1);
+  EXPECT_EQ(e.coef("I"), 1);
+  EXPECT_EQ(e.coef("J"), 2);
+  EXPECT_EQ(e.coef("K"), 0);
+  EXPECT_EQ(e.constant(), -1);
+  EXPECT_FALSE(e.is_constant());
+  EXPECT_TRUE(AffineExpr(5).is_constant());
+  EXPECT_TRUE(AffineExpr().is_zero());
+}
+
+TEST(Affine, TermsCancel) {
+  AffineExpr e = AffineExpr::variable("I");
+  e.add_term("I", -1);
+  EXPECT_TRUE(e.is_zero());
+}
+
+TEST(Affine, Arithmetic) {
+  AffineExpr i = AffineExpr::variable("I");
+  AffineExpr j = AffineExpr::variable("J");
+  AffineExpr e = i * 2 + j - AffineExpr(3);
+  EXPECT_EQ(e.eval({{"I", 5}, {"J", 1}}), 8);
+  EXPECT_EQ((-e).eval({{"I", 5}, {"J", 1}}), -8);
+}
+
+TEST(Affine, EvalUnboundThrows) {
+  AffineExpr e = AffineExpr::variable("I");
+  EXPECT_THROW(e.eval({}), Error);
+}
+
+TEST(Affine, Substitute) {
+  // I + 2J with J := I - 1  ->  3I - 2
+  AffineExpr e = AffineExpr::variable("I") + AffineExpr::variable("J") * 2;
+  AffineExpr repl = AffineExpr::variable("I") - AffineExpr(1);
+  AffineExpr r = e.substitute("J", repl);
+  EXPECT_EQ(r.coef("I"), 3);
+  EXPECT_EQ(r.constant(), -2);
+  EXPECT_EQ(r.coef("J"), 0);
+}
+
+TEST(Affine, Renamed) {
+  AffineExpr e = AffineExpr::variable("I") * 4;
+  AffineExpr r = e.renamed("I", "X");
+  EXPECT_EQ(r.coef("X"), 4);
+  EXPECT_EQ(r.coef("I"), 0);
+  EXPECT_EQ(e.renamed("Z", "Y"), e);  // absent: no-op
+}
+
+TEST(Affine, ToString) {
+  AffineExpr e = AffineExpr::variable("I") * 2 - AffineExpr::variable("J") +
+                 AffineExpr(7);
+  EXPECT_EQ(e.to_string(), "2*I - J + 7");
+  EXPECT_EQ(AffineExpr(0).to_string(), "0");
+  EXPECT_EQ((AffineExpr::variable("I") * -1).to_string(), "-I");
+}
+
+TEST(Bound, TightEval) {
+  Bound lo(std::vector<BoundTerm>{BoundTerm(AffineExpr(3)),
+                                  BoundTerm(AffineExpr(5))});
+  EXPECT_EQ(lo.eval_lower({}), 5);  // max for tight lower
+  Bound hi(std::vector<BoundTerm>{BoundTerm(AffineExpr(3)),
+                                  BoundTerm(AffineExpr(5))});
+  EXPECT_EQ(hi.eval_upper({}), 3);  // min for tight upper
+}
+
+TEST(Bound, CoverEval) {
+  Bound lo(std::vector<BoundTerm>{BoundTerm(AffineExpr(3)),
+                                  BoundTerm(AffineExpr(5))},
+           Bound::Mode::kCover);
+  EXPECT_EQ(lo.eval_lower({}), 3);  // min for cover lower
+  Bound hi(std::vector<BoundTerm>{BoundTerm(AffineExpr(3)),
+                                  BoundTerm(AffineExpr(5))},
+           Bound::Mode::kCover);
+  EXPECT_EQ(hi.eval_upper({}), 5);  // max for cover upper
+}
+
+TEST(Bound, DivisionRounding) {
+  // lower ceil(7/2) = 4, upper floor(7/2) = 3.
+  Bound b(std::vector<BoundTerm>{BoundTerm(AffineExpr(7), 2)});
+  EXPECT_EQ(b.eval_lower({}), 4);
+  EXPECT_EQ(b.eval_upper({}), 3);
+  EXPECT_EQ(b.to_string(true), "ceil(7, 2)");
+  EXPECT_EQ(b.to_string(false), "floor(7, 2)");
+}
+
+TEST(Bound, ToStringModes) {
+  Bound tight(std::vector<BoundTerm>{BoundTerm(AffineExpr(1)),
+                                     BoundTerm(AffineExpr::variable("N"))});
+  EXPECT_EQ(tight.to_string(true), "max(1, N)");
+  EXPECT_EQ(tight.to_string(false), "min(1, N)");
+  Bound cover = tight;
+  cover.mode = Bound::Mode::kCover;
+  EXPECT_EQ(cover.to_string(true), "min(1, N)");
+  EXPECT_EQ(cover.to_string(false), "max(1, N)");
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,102 @@
+// Correctness of the native benchmark kernels: every loop ordering of
+// a factorization computes the same factor (the semantic premise of
+// the paper's §1 motivation).
+#include <gtest/gtest.h>
+
+#include "kernels/cholesky.hpp"
+#include "kernels/lu.hpp"
+#include "kernels/skew.hpp"
+#include "kernels/stencil.hpp"
+
+namespace inlt::kernels {
+namespace {
+
+class CholeskyOrderTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(CholeskyOrderTest, FactorsCorrectly) {
+  auto [variant, n] = GetParam();
+  const CholeskyVariant& v = cholesky_variants()[variant];
+  Matrix a = make_spd(n, 42);
+  Matrix orig = a;
+  v.fn(a, n);
+  EXPECT_LT(cholesky_residual(a, orig, n), 1e-9)
+      << v.name << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CholeskyOrderTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values<std::size_t>(1, 2, 5, 17, 64)),
+    [](const auto& info) {
+      return std::string(
+                 cholesky_variants()[std::get<0>(info.param)].name) +
+             "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CholeskyOrders, AllVariantsAgreeOnLowerTriangle) {
+  std::size_t n = 33;
+  Matrix ref = make_spd(n, 7);
+  Matrix base = ref;
+  cholesky_variants()[0].fn(base, n);
+  for (const CholeskyVariant& v : cholesky_variants()) {
+    Matrix a = ref;
+    v.fn(a, n);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j <= i; ++j)
+        worst = std::max(worst,
+                         std::abs(a[i * n + j] - base[i * n + j]));
+    EXPECT_LT(worst, 1e-9) << v.name;
+  }
+}
+
+class LuOrderTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(LuOrderTest, FactorsCorrectly) {
+  auto [variant, n] = GetParam();
+  const LuVariant& v = lu_variants()[variant];
+  Matrix a = make_dd(n, 13);
+  Matrix orig = a;
+  v.fn(a, n);
+  EXPECT_LT(lu_residual(a, orig, n), 1e-9) << v.name << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, LuOrderTest,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values<std::size_t>(1, 2, 5, 17, 64)),
+    [](const auto& info) {
+      return std::string(lu_variants()[std::get<0>(info.param)].name) +
+             "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SkewKernels, SourceAndTransformedAgree) {
+  for (std::size_t n : {1u, 2u, 7u, 40u}) {
+    std::size_t stride = n + 2;
+    std::vector<double> a1(stride * stride, 0.25), b1(n + 1, 0.5);
+    std::vector<double> a2 = a1, b2 = b1;
+    skew_source(a1, b1, n);
+    skew_transformed(a2, b2, n);
+    EXPECT_LT(max_abs_diff(a1, a2), 1e-12) << "n=" << n;
+    EXPECT_LT(max_abs_diff(b1, b2), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(SkewKernels, GeneratorIsPure) {
+  EXPECT_EQ(skew_f(3, 5), skew_f(3, 5));
+  EXPECT_NE(skew_f(3, 5), skew_f(5, 3));
+}
+
+TEST(StencilKernels, WavefrontMatchesOriginal) {
+  for (std::size_t n : {1u, 2u, 9u, 33u}) {
+    std::vector<double> a((n + 1) * (n + 1), 0.5), b = a;
+    gauss_seidel(a, n);
+    gauss_seidel_wavefront(b, n);
+    EXPECT_LT(max_abs_diff(a, b), 1e-12) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace inlt::kernels

@@ -1,0 +1,114 @@
+#include "linalg/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace inlt {
+namespace {
+
+TEST(Gauss, RankBasics) {
+  EXPECT_EQ(rank(IntMat{{1, 0}, {0, 1}}), 2);
+  EXPECT_EQ(rank(IntMat{{1, 2}, {2, 4}}), 1);
+  EXPECT_EQ(rank(IntMat{{0, 0}, {0, 0}}), 0);
+  EXPECT_EQ(rank(IntMat{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}), 2);
+}
+
+TEST(Gauss, InverseRoundTrip) {
+  RatMat m = to_rational(IntMat{{2, 1}, {1, 1}});
+  RatMat inv = inverse(m);
+  EXPECT_EQ(mat_mul(m, inv), to_rational(IntMat::identity(2)));
+  EXPECT_EQ(mat_mul(inv, m), to_rational(IntMat::identity(2)));
+}
+
+TEST(Gauss, InverseSingularThrows) {
+  EXPECT_THROW(inverse(to_rational(IntMat{{1, 2}, {2, 4}})), TransformError);
+}
+
+TEST(Gauss, SolveConsistent) {
+  RatMat a = to_rational(IntMat{{1, 1}, {1, -1}});
+  auto x = solve(a, {Rational(3), Rational(1)});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Rational(2));
+  EXPECT_EQ((*x)[1], Rational(1));
+}
+
+TEST(Gauss, SolveInconsistentReturnsNullopt) {
+  RatMat a = to_rational(IntMat{{1, 1}, {2, 2}});
+  EXPECT_FALSE(solve(a, {Rational(1), Rational(3)}).has_value());
+}
+
+TEST(Gauss, NullspaceOrthogonality) {
+  IntMat a{{1, 2, 3}, {2, 4, 6}};
+  auto ns = integer_nullspace(a);
+  ASSERT_EQ(ns.size(), 2u);
+  for (const IntVec& v : ns) {
+    EXPECT_TRUE(vec_is_zero(mat_vec(a, v)));
+    EXPECT_EQ(vec_gcd(v), 1);  // primitive
+  }
+}
+
+TEST(Gauss, NullspaceOfFullRankIsEmpty) {
+  EXPECT_TRUE(integer_nullspace(IntMat::identity(3)).empty());
+}
+
+TEST(Gauss, IndependentRowIndicesMatchesDef8) {
+  // Definition 8: drop rows that are zero or combinations of previous
+  // rows.
+  IntMat t{{1, -1}, {0, 0}, {0, 1}, {1, 0}};
+  EXPECT_EQ(independent_row_indices(t), (std::vector<int>{0, 2}));
+}
+
+TEST(Gauss, ExpressInSpan) {
+  std::vector<IntVec> basis = {{1, 0, 1}, {0, 1, 1}};
+  auto c = express_in_span({2, 3, 5}, basis);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ((*c)[0], Rational(2));
+  EXPECT_EQ((*c)[1], Rational(3));
+  EXPECT_FALSE(express_in_span({1, 0, 0}, basis).has_value());
+  // Empty basis spans only zero.
+  EXPECT_TRUE(express_in_span({0, 0}, {}).has_value());
+  EXPECT_FALSE(express_in_span({1, 0}, {}).has_value());
+}
+
+TEST(Gauss, Determinant) {
+  EXPECT_EQ(determinant(IntMat{{1, 2}, {3, 4}}), -2);
+  EXPECT_EQ(determinant(IntMat{{2, 0}, {0, 3}}), 6);
+  EXPECT_EQ(determinant(IntMat::identity(4)), 1);
+  EXPECT_EQ(determinant(IntMat{{1, 2}, {2, 4}}), 0);
+}
+
+// Property sweep: random integer matrices — inverse round-trips, rank
+// is invariant under transpose, nullspace dimension matches
+// rank-nullity.
+class GaussRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussRandomTest, RankNullityAndInverse) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> dim(1, 5), val(-4, 4);
+  for (int trial = 0; trial < 20; ++trial) {
+    int r = dim(rng), c = dim(rng);
+    IntMat m(r, c);
+    for (int i = 0; i < r; ++i)
+      for (int j = 0; j < c; ++j) m(i, j) = val(rng);
+
+    int rk = rank(m);
+    EXPECT_EQ(rk, rank(m.transposed()));
+    auto ns = integer_nullspace(m);
+    EXPECT_EQ(static_cast<int>(ns.size()), c - rk);  // rank-nullity
+    for (const IntVec& v : ns) EXPECT_TRUE(vec_is_zero(mat_vec(m, v)));
+
+    if (r == c && rk == r) {
+      RatMat inv = inverse(to_rational(m));
+      EXPECT_EQ(mat_mul(to_rational(m), inv),
+                to_rational(IntMat::identity(r)));
+      // det(M) * det(M^-1) == 1
+      EXPECT_EQ(determinant(to_rational(m)) * determinant(inv), Rational(1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaussRandomTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/gauss.hpp"
+#include "linalg/hermite.hpp"
+#include "linalg/smith.hpp"
+
+namespace inlt {
+namespace {
+
+void expect_hnf_invariants(const IntMat& a) {
+  HermiteResult hr = hermite_normal_form(a);
+  // H = A * U and U unimodular.
+  EXPECT_EQ(mat_mul(a, hr.u), hr.h);
+  EXPECT_TRUE(is_unimodular(hr.u));
+  // Echelon shape: pivots step strictly right-down; pivots positive;
+  // entries left of a pivot reduced into [0, pivot).
+  int prev_pivot_col = -1;
+  for (int r = 0; r < hr.h.rows(); ++r) {
+    int last_nonzero = -1;
+    for (int c = 0; c < hr.h.cols(); ++c)
+      if (hr.h(r, c) != 0) last_nonzero = c;
+    if (last_nonzero < 0) continue;  // zero row
+    if (last_nonzero > prev_pivot_col) {
+      // this row introduces a new pivot at last_nonzero
+      EXPECT_GT(hr.h(r, last_nonzero), 0);
+      for (int c = 0; c < last_nonzero; ++c) {
+        EXPECT_GE(hr.h(r, c), 0);
+        EXPECT_LT(hr.h(r, c), hr.h(r, last_nonzero));
+      }
+      prev_pivot_col = last_nonzero;
+    }
+  }
+}
+
+TEST(Hermite, SimpleExamples) {
+  expect_hnf_invariants(IntMat{{2, 4}, {1, 3}});
+  expect_hnf_invariants(IntMat{{4, 6}});
+  expect_hnf_invariants(IntMat{{0, 0}, {0, 0}});
+  expect_hnf_invariants(IntMat{{1, 0, 0}, {0, 1, 0}});
+}
+
+TEST(Hermite, GcdShowsUp) {
+  // Row [4, 6] has gcd 2: HNF pivot must be 2.
+  HermiteResult hr = hermite_normal_form(IntMat{{4, 6}});
+  EXPECT_EQ(hr.h(0, 0), 2);
+  EXPECT_EQ(hr.h(0, 1), 0);
+}
+
+TEST(Hermite, UnimodularInputGivesIdentityLattice) {
+  IntMat m{{1, 1}, {0, 1}};
+  HermiteResult hr = hermite_normal_form(m);
+  // The column lattice of a unimodular matrix is Z^2: pivots are 1.
+  EXPECT_EQ(hr.h(0, 0), 1);
+  EXPECT_EQ(hr.h(1, 1), 1);
+}
+
+TEST(Hermite, IsUnimodular) {
+  EXPECT_TRUE(is_unimodular(IntMat{{1, 1}, {0, 1}}));
+  EXPECT_TRUE(is_unimodular(IntMat{{0, 1}, {1, 0}}));
+  EXPECT_FALSE(is_unimodular(IntMat{{2, 0}, {0, 1}}));
+  EXPECT_FALSE(is_unimodular(IntMat(2, 3)));
+}
+
+TEST(Hermite, CompleteToNonsingular) {
+  IntMat rows{{1, -1, 0}};
+  IntMat full = complete_to_nonsingular(rows);
+  EXPECT_EQ(full.rows(), 3);
+  EXPECT_EQ(rank(full), 3);
+  EXPECT_EQ(full.row(0), (IntVec{1, -1, 0}));
+}
+
+TEST(Hermite, CompleteDependentRowsThrows) {
+  EXPECT_THROW(complete_to_nonsingular(IntMat{{1, 0}, {2, 0}}), Error);
+}
+
+void expect_snf_invariants(const IntMat& a) {
+  SmithResult sr = smith_normal_form(a);
+  EXPECT_TRUE(is_unimodular(sr.u));
+  EXPECT_TRUE(is_unimodular(sr.v));
+  EXPECT_EQ(mat_mul(mat_mul(sr.u, a), sr.v), sr.s);
+  // Diagonal with divisibility chain.
+  for (int i = 0; i < sr.s.rows(); ++i)
+    for (int j = 0; j < sr.s.cols(); ++j)
+      if (i != j) {
+        EXPECT_EQ(sr.s(i, j), 0);
+      }
+  int n = std::min(sr.s.rows(), sr.s.cols());
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(sr.s(i, i), 0);
+    if (sr.s(i, i) != 0) {
+      EXPECT_EQ(sr.s(i + 1, i + 1) % sr.s(i, i), 0);
+    } else {
+      EXPECT_EQ(sr.s(i + 1, i + 1), 0);
+    }
+  }
+}
+
+TEST(Smith, SimpleExamples) {
+  expect_snf_invariants(IntMat{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}});
+  expect_snf_invariants(IntMat{{2, 0}, {0, 3}});
+  expect_snf_invariants(IntMat{{0, 0}, {0, 0}});
+  expect_snf_invariants(IntMat{{6}});
+}
+
+TEST(Smith, KnownResult) {
+  SmithResult sr = smith_normal_form(IntMat{{2, 0}, {0, 3}});
+  // SNF of diag(2,3) is diag(1,6).
+  EXPECT_EQ(sr.s(0, 0), 1);
+  EXPECT_EQ(sr.s(1, 1), 6);
+}
+
+class NormalFormRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalFormRandomTest, InvariantsHoldOnRandomMatrices) {
+  std::mt19937 rng(GetParam() * 7919);
+  std::uniform_int_distribution<int> dim(1, 4), val(-5, 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    int r = dim(rng), c = dim(rng);
+    IntMat m(r, c);
+    for (int i = 0; i < r; ++i)
+      for (int j = 0; j < c; ++j) m(i, j) = val(rng);
+    expect_hnf_invariants(m);
+    expect_snf_invariants(m);
+    // HNF and SNF agree with Gauss on rank.
+    SmithResult sr = smith_normal_form(m);
+    int snf_rank = 0;
+    for (int i = 0; i < std::min(r, c); ++i)
+      if (sr.s(i, i) != 0) ++snf_rank;
+    EXPECT_EQ(snf_rank, rank(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalFormRandomTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,111 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/gauss.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(Matrix, LiteralAndAccess) {
+  IntMat m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 3);
+}
+
+TEST(Matrix, RaggedLiteralThrows) {
+  EXPECT_THROW((IntMat{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, Identity) {
+  IntMat id = IntMat::identity(3);
+  EXPECT_TRUE(is_identity(id));
+  EXPECT_TRUE(is_permutation_matrix(id));
+}
+
+TEST(Matrix, Multiply) {
+  IntMat a{{1, 2}, {3, 4}};
+  IntMat b{{0, 1}, {1, 0}};
+  IntMat ab = mat_mul(a, b);
+  EXPECT_EQ(ab, (IntMat{{2, 1}, {4, 3}}));
+  EXPECT_EQ(mat_mul(b, b), IntMat::identity(2));
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  IntMat a(2, 3), b(2, 2);
+  EXPECT_THROW(mat_mul(a, b), Error);
+}
+
+TEST(Matrix, MatVec) {
+  IntMat a{{1, 0, -1}, {0, 2, 0}};
+  IntVec x{5, 7, 3};
+  EXPECT_EQ(mat_vec(a, x), (IntVec{2, 14}));
+}
+
+TEST(Matrix, FromColsMatchesPaperConvention) {
+  // Dependence matrices list one column per dependence.
+  IntMat d = IntMat::from_cols({{0, 1, -1, 2}, {1, -1, 1, 0}});
+  EXPECT_EQ(d.rows(), 4);
+  EXPECT_EQ(d.cols(), 2);
+  EXPECT_EQ(d(3, 0), 2);
+  EXPECT_EQ(d(0, 1), 1);
+  EXPECT_EQ(d.col(0), (IntVec{0, 1, -1, 2}));
+}
+
+TEST(Matrix, Block) {
+  IntMat m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  EXPECT_EQ(m.block(1, 3, 0, 2), (IntMat{{4, 5}, {7, 8}}));
+  EXPECT_EQ(m.block(0, 0, 0, 0).rows(), 0);
+}
+
+TEST(Matrix, Transpose) {
+  IntMat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.transposed(), (IntMat{{1, 4}, {2, 5}, {3, 6}}));
+}
+
+TEST(Matrix, PermutationDetection) {
+  EXPECT_TRUE(is_permutation_matrix(IntMat{{0, 1}, {1, 0}}));
+  EXPECT_FALSE(is_permutation_matrix(IntMat{{1, 1}, {0, 0}}));
+  EXPECT_FALSE(is_permutation_matrix(IntMat{{2, 0}, {0, 1}}));
+  EXPECT_FALSE(is_permutation_matrix(IntMat(2, 3)));
+}
+
+TEST(Matrix, AppendRow) {
+  IntMat m(0, 0);
+  m.append_row({1, 2, 3});
+  m.append_row({4, 5, 6});
+  EXPECT_EQ(m, (IntMat{{1, 2, 3}, {4, 5, 6}}));
+}
+
+TEST(Vec, LexOrder) {
+  EXPECT_TRUE(lex_less({0, 1}, {1, 0}));
+  EXPECT_TRUE(lex_less({1, 0}, {1, 1}));
+  EXPECT_FALSE(lex_less({1, 1}, {1, 1}));
+  EXPECT_EQ(lex_sign({0, 0, 1}), 1);
+  EXPECT_EQ(lex_sign({0, -2, 1}), -1);
+  EXPECT_EQ(lex_sign({0, 0, 0}), 0);
+}
+
+TEST(Vec, FirstNonzeroIsCompletionHeight) {
+  EXPECT_EQ(first_nonzero({0, 0, 3, 1}), 2);
+  EXPECT_EQ(first_nonzero({0, 0}), -1);
+  EXPECT_EQ(first_nonzero({5}), 0);
+}
+
+TEST(Vec, GcdAndDivExact) {
+  EXPECT_EQ(vec_gcd({6, -9, 12}), 3);
+  EXPECT_EQ(vec_div_exact({6, -9, 12}, 3), (IntVec{2, -3, 4}));
+  EXPECT_THROW(vec_div_exact({5, 3}, 2), Error);
+}
+
+TEST(Vec, Arithmetic) {
+  EXPECT_EQ(vec_add({1, 2}, {3, -4}), (IntVec{4, -2}));
+  EXPECT_EQ(vec_sub({1, 2}, {3, -4}), (IntVec{-2, 6}));
+  EXPECT_EQ(vec_scale(-2, {1, -2}), (IntVec{-2, 4}));
+  EXPECT_EQ(vec_dot({1, 2, 3}, {4, 5, 6}), 32);
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,141 @@
+// Heavier Omega-test stress: wider coefficient ranges (forcing the
+// dark-shadow/splinter path), more variables, and soundness of the
+// rational-elimination projection.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/project.hpp"
+
+namespace inlt {
+namespace {
+
+bool brute_force_feasible(const ConstraintSystem& cs, i64 box) {
+  int n = cs.num_vars();
+  IntVec x(n, -box);
+  for (;;) {
+    bool ok = true;
+    for (const LinExpr& e : cs.equalities())
+      if (vec_dot(e.coef, x) + e.constant != 0) {
+        ok = false;
+        break;
+      }
+    if (ok)
+      for (const LinExpr& e : cs.inequalities())
+        if (vec_dot(e.coef, x) + e.constant < 0) {
+          ok = false;
+          break;
+        }
+    if (ok) return true;
+    int i = 0;
+    while (i < n && x[i] == box) x[i++] = -box;
+    if (i == n) return false;
+    ++x[i];
+  }
+}
+
+ConstraintSystem boxed(ConstraintSystem cs, i64 box) {
+  for (int i = 0; i < cs.num_vars(); ++i) {
+    cs.add_var_ge(i, -box);
+    cs.add_var_le(i, box);
+  }
+  return cs;
+}
+
+class OmegaStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmegaStress, WideCoefficientsMatchBruteForce) {
+  std::mt19937 rng(GetParam() * 694847539u);
+  std::uniform_int_distribution<int> nvar(2, 4), ncon(2, 6), val(-8, 8),
+      kind(0, 4);
+  constexpr i64 kBox = 5;
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = nvar(rng);
+    std::vector<std::string> names;
+    for (int i = 0; i < n; ++i) names.push_back("v" + std::to_string(i));
+    ConstraintSystem cs(names);
+    int m = ncon(rng);
+    for (int c = 0; c < m; ++c) {
+      LinExpr e = cs.zero_expr();
+      for (int i = 0; i < n; ++i) e.coef[i] = val(rng);
+      e.constant = val(rng);
+      if (kind(rng) == 0)
+        cs.add_eq(e);
+      else
+        cs.add_ge(e);
+    }
+    ConstraintSystem full = boxed(cs, kBox);
+    EXPECT_EQ(integer_feasible(full), brute_force_feasible(full, kBox))
+        << full.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaStress, ::testing::Range(1, 9));
+
+class ProjectionSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionSoundness, EliminationNeverLosesSolutions) {
+  // Rational FM elimination is a relaxation: every integer solution of
+  // the original must restrict to a solution of the eliminated system.
+  std::mt19937 rng(GetParam() * 2166136261u);
+  std::uniform_int_distribution<int> val(-3, 3), ncon(2, 5);
+  constexpr i64 kBox = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    ConstraintSystem cs({"x", "y", "z"});
+    int m = ncon(rng);
+    for (int c = 0; c < m; ++c) {
+      LinExpr e = cs.zero_expr();
+      for (int i = 0; i < 3; ++i) e.coef[i] = val(rng);
+      e.constant = val(rng) + 2;
+      cs.add_ge(e);
+    }
+    ConstraintSystem full = boxed(cs, kBox);
+    ConstraintSystem elim = eliminate_var_real(full, 2);  // drop z
+
+    // Enumerate solutions of `full`; (x, y) must satisfy `elim`.
+    for (i64 x = -kBox; x <= kBox; ++x)
+      for (i64 y = -kBox; y <= kBox; ++y)
+        for (i64 z = -kBox; z <= kBox; ++z) {
+          IntVec pt{x, y, z};
+          bool in_full = true;
+          for (const LinExpr& e : full.inequalities())
+            if (vec_dot(e.coef, pt) + e.constant < 0) in_full = false;
+          if (!in_full) continue;
+          for (const LinExpr& e : elim.inequalities()) {
+            EXPECT_EQ(e.coef[2], 0) << "residue of eliminated variable";
+            EXPECT_GE(vec_dot(e.coef, pt) + e.constant, 0)
+                << "solution lost at (" << x << "," << y << "," << z << ")";
+          }
+        }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionSoundness, ::testing::Range(1, 5));
+
+TEST(OmegaStress, ModHatEqualityPath) {
+  // Equalities with no unit coefficient exercise the mod-hat
+  // substitution: 6x + 10y == 8 has integer solutions (gcd 2 | 8),
+  // 6x + 10y == 7 does not.
+  for (auto [c, feasible] : {std::pair{-8, true}, std::pair{-7, false}}) {
+    ConstraintSystem cs({"x", "y"});
+    LinExpr e = cs.zero_expr();
+    e.coef = {6, 10};
+    e.constant = c;
+    cs.add_eq(e);
+    EXPECT_EQ(integer_feasible(cs), feasible) << c;
+  }
+  // Coupled non-unit equalities: 6x + 10y == 8 and 15y + 9x == 12.
+  ConstraintSystem cs({"x", "y"});
+  LinExpr e1 = cs.zero_expr();
+  e1.coef = {6, 10};
+  e1.constant = -8;
+  cs.add_eq(e1);
+  LinExpr e2 = cs.zero_expr();
+  e2.coef = {9, 15};
+  e2.constant = -12;
+  cs.add_eq(e2);
+  EXPECT_TRUE(integer_feasible(cs));  // x=3, y=-1
+}
+
+}  // namespace
+}  // namespace inlt

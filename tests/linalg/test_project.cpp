@@ -1,0 +1,202 @@
+// Omega-test solver: exactness cross-checked against brute-force
+// enumeration on bounded random systems.
+#include "linalg/project.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace inlt {
+namespace {
+
+// Brute force: does the system have an integer solution with every
+// variable in [-box, box]?
+bool brute_force_feasible(const ConstraintSystem& cs, i64 box) {
+  int n = cs.num_vars();
+  IntVec x(n, -box);
+  for (;;) {
+    bool ok = true;
+    for (const LinExpr& e : cs.equalities())
+      if (vec_dot(e.coef, x) + e.constant != 0) {
+        ok = false;
+        break;
+      }
+    if (ok)
+      for (const LinExpr& e : cs.inequalities())
+        if (vec_dot(e.coef, x) + e.constant < 0) {
+          ok = false;
+          break;
+        }
+    if (ok) return true;
+    int i = 0;
+    while (i < n && x[i] == box) x[i++] = -box;
+    if (i == n) return false;
+    ++x[i];
+  }
+}
+
+ConstraintSystem boxed(ConstraintSystem cs, i64 box) {
+  for (int i = 0; i < cs.num_vars(); ++i) {
+    cs.add_var_ge(i, -box);
+    cs.add_var_le(i, box);
+  }
+  return cs;
+}
+
+TEST(Omega, TrivialSystems) {
+  ConstraintSystem cs({"x"});
+  EXPECT_TRUE(integer_feasible(cs));  // no constraints
+  cs.add_var_ge(0, 5);
+  cs.add_var_le(0, 3);
+  EXPECT_FALSE(integer_feasible(cs));  // 5 <= x <= 3
+}
+
+TEST(Omega, GcdTestOnEqualities) {
+  // 2x + 4y == 1 has no integer solution.
+  ConstraintSystem cs({"x", "y"});
+  LinExpr e = cs.zero_expr();
+  e.coef = {2, 4};
+  e.constant = -1;
+  cs.add_eq(e);
+  EXPECT_FALSE(integer_feasible(cs));
+  // 2x + 4y == 6 does.
+  ConstraintSystem cs2({"x", "y"});
+  LinExpr e2 = cs2.zero_expr();
+  e2.coef = {2, 4};
+  e2.constant = -6;
+  cs2.add_eq(e2);
+  EXPECT_TRUE(integer_feasible(cs2));
+}
+
+TEST(Omega, DarkShadowCase) {
+  // 2x >= 3 and 2x <= 5 admits integer x=2; 2x >= 3 and 2x <= 3 does
+  // not (x = 1.5 only).
+  ConstraintSystem a({"x"});
+  LinExpr l = a.zero_expr();
+  l.coef = {2};
+  l.constant = -3;  // 2x - 3 >= 0
+  a.add_ge(l);
+  LinExpr u = a.zero_expr();
+  u.coef = {-2};
+  u.constant = 5;  // 5 - 2x >= 0
+  a.add_ge(u);
+  EXPECT_TRUE(integer_feasible(a));
+
+  ConstraintSystem b({"x"});
+  b.add_ge(l);
+  LinExpr u2 = b.zero_expr();
+  u2.coef = {-2};
+  u2.constant = 3;  // 3 - 2x >= 0
+  b.add_ge(u2);
+  EXPECT_FALSE(integer_feasible(b));
+}
+
+TEST(Omega, ClassicIntegerHole) {
+  // 3 <= 2x + 3y <= 4 with 1 <= x,y ... crafted two-variable hole:
+  // 2x == 2y + 1 is infeasible over integers but feasible over Q.
+  ConstraintSystem cs({"x", "y"});
+  LinExpr e = cs.zero_expr();
+  e.coef = {2, -2};
+  e.constant = -1;
+  cs.add_eq(e);
+  EXPECT_FALSE(integer_feasible(cs));
+}
+
+TEST(Omega, DependenceShapedSystem) {
+  // The §3 example: 1<=Iw<=N, 1<=Ir<=N, Ir<Jr<=N, Iw<=Ir, Ir==Iw.
+  ConstraintSystem cs({"N", "Iw", "Ir", "Jr"});
+  cs.add_var_ge(1, 1);
+  cs.add_diff_ge(0, 1, 0);  // N - Iw >= 0
+  cs.add_var_ge(2, 1);
+  cs.add_diff_ge(0, 2, 0);
+  cs.add_diff_ge(3, 2, 1);  // Jr >= Ir + 1
+  cs.add_diff_ge(0, 3, 0);
+  cs.add_diff_ge(2, 1, 0);   // Ir >= Iw
+  cs.add_diff_eq(2, 1, 0);   // Ir == Iw
+  EXPECT_TRUE(integer_feasible(cs));
+  // Additionally demand Jr == Ir: contradicts Jr >= Ir+1.
+  cs.add_diff_eq(3, 2, 0);
+  EXPECT_FALSE(integer_feasible(cs));
+}
+
+TEST(Omega, EliminateVarRealKeepsImpliedConstraints) {
+  // x >= 1, y >= x + 2  — eliminating x leaves y >= 3.
+  ConstraintSystem cs({"x", "y"});
+  cs.add_var_ge(0, 1);
+  cs.add_diff_ge(1, 0, 2);
+  ConstraintSystem out = eliminate_var_real(cs, 0);
+  // y = 2 must now be infeasible, y = 3 feasible.
+  ConstraintSystem probe = out;
+  probe.add_var_le(1, 2);
+  EXPECT_FALSE(integer_feasible(probe));
+  ConstraintSystem probe2 = out;
+  probe2.add_var_le(1, 3);
+  EXPECT_TRUE(integer_feasible(probe2));
+}
+
+TEST(Omega, ProjectOntoSubset) {
+  // 1 <= x <= 10, y == 2x: projection onto y keeps 2 <= y <= 20.
+  ConstraintSystem cs({"x", "y"});
+  cs.add_var_ge(0, 1);
+  cs.add_var_le(0, 10);
+  LinExpr e = cs.zero_expr();
+  e.coef = {2, -1};
+  cs.add_eq(e);  // 2x - y == 0
+  ConstraintSystem out = project_onto(cs, {1});
+  EXPECT_EQ(out.num_vars(), 1);
+  ConstraintSystem lo = out;
+  lo.add_var_le(0, 1);
+  EXPECT_FALSE(integer_feasible(lo));
+  ConstraintSystem hi = out;
+  hi.add_var_ge(0, 21);
+  EXPECT_FALSE(integer_feasible(hi));
+  ConstraintSystem mid = out;
+  mid.add_var_ge(0, 2);
+  mid.add_var_le(0, 20);
+  EXPECT_TRUE(integer_feasible(mid));
+}
+
+TEST(Omega, NormalizeDetectsFaceContradictions) {
+  ConstraintSystem cs({"x"});
+  LinExpr e = cs.zero_expr();
+  e.constant = -1;  // 0*x - 1 >= 0
+  cs.add_ge(e);
+  EXPECT_FALSE(normalize_system(cs));
+}
+
+// Exactness sweep: random small systems, brute force vs Omega. The
+// variables are boxed so brute force is exhaustive and the box is part
+// of the system, making the comparison exact.
+class OmegaRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmegaRandomTest, MatchesBruteForce) {
+  std::mt19937 rng(GetParam() * 104729);
+  std::uniform_int_distribution<int> nvar(1, 3), ncon(1, 5), val(-4, 4),
+      kind(0, 3);
+  constexpr i64 kBox = 6;
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = nvar(rng);
+    std::vector<std::string> names;
+    for (int i = 0; i < n; ++i) names.push_back("v" + std::to_string(i));
+    ConstraintSystem cs(names);
+    int m = ncon(rng);
+    for (int c = 0; c < m; ++c) {
+      LinExpr e = cs.zero_expr();
+      for (int i = 0; i < n; ++i) e.coef[i] = val(rng);
+      e.constant = val(rng);
+      if (kind(rng) == 0)
+        cs.add_eq(e);
+      else
+        cs.add_ge(e);
+    }
+    ConstraintSystem full = boxed(cs, kBox);
+    EXPECT_EQ(integer_feasible(full), brute_force_feasible(full, kBox))
+        << "system:\n"
+        << full.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaRandomTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,121 @@
+#include "linalg/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace inlt {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational s(-6, 4);
+  EXPECT_EQ(s.num(), -3);
+  EXPECT_EQ(s.den(), 2);
+  Rational t(6, -4);
+  EXPECT_EQ(t.num(), -3);
+  EXPECT_EQ(t.den(), 2);
+  Rational z(0, 17);
+  EXPECT_EQ(z.num(), 0);
+  EXPECT_EQ(z.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), Error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GT(Rational(2), Rational(3, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, AsIntegerThrowsOnFraction) {
+  EXPECT_EQ(Rational(8, 2).as_integer(), 4);
+  EXPECT_THROW(Rational(1, 2).as_integer(), Error);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3, 2).to_string(), "3/2");
+  EXPECT_EQ(Rational(-3).to_string(), "-3");
+}
+
+// Field axioms on a grid of small rationals.
+class RationalFieldTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(RationalFieldTest, AxiomsHold) {
+  auto [n, d] = GetParam();
+  Rational q(n, d);
+  Rational r(d, 7);  // a second value derived from the parameter
+  // additive inverse
+  EXPECT_EQ(q + (-q), Rational(0));
+  // distributivity against r
+  EXPECT_EQ((q + r) * Rational(3), q * Rational(3) + r * Rational(3));
+  // multiplicative inverse
+  if (!q.is_zero()) {
+    EXPECT_EQ(q / q, Rational(1));
+  }
+  // commutativity
+  EXPECT_EQ(q + r, r + q);
+  EXPECT_EQ(q * r, r * q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrid, RationalFieldTest,
+    ::testing::Values(std::pair{0, 1}, std::pair{1, 1}, std::pair{-1, 2},
+                      std::pair{3, 5}, std::pair{-7, 3}, std::pair{10, 4},
+                      std::pair{-9, 9}, std::pair{5, -10}));
+
+TEST(CheckedInt, OverflowDetected) {
+  i64 big = INT64_MAX;
+  EXPECT_THROW(checked_add(big, 1), OverflowError);
+  EXPECT_THROW(checked_mul(big, 2), OverflowError);
+  EXPECT_THROW(checked_neg(INT64_MIN), OverflowError);
+  EXPECT_EQ(checked_add(big, 0), big);
+}
+
+TEST(CheckedInt, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(floor_mod(-7, 3), 2);
+  EXPECT_EQ(floor_mod(7, 3), 1);
+}
+
+TEST(CheckedInt, GcdLcm) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,98 @@
+// Fig 5/Fig 6: block structure validation and NewAST recovery.
+#include <gtest/gtest.h>
+
+#include "ir/gallery.hpp"
+#include "ir/printer.hpp"
+#include "transform/transforms.hpp"
+#include "transform/block_structure.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(BlockStructure, IdentityIsValid) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_EQ(check_block_structure(layout, IntMat::identity(4)), "");
+}
+
+TEST(BlockStructure, LinearLoopTransformsAreValid) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_EQ(check_block_structure(layout, loop_interchange(layout, "I", "J")),
+            "");
+  EXPECT_EQ(check_block_structure(layout, loop_skew(layout, "I", "J", -1)),
+            "");
+  EXPECT_EQ(check_block_structure(layout, loop_reversal(layout, "J")), "");
+}
+
+TEST(BlockStructure, ReorderRecoversPermutedAst) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  IntMat m = statement_reorder(layout, "I", {1, 0});
+  AstRecovery rec = recover_ast(layout, m);
+  // The J loop now comes before S1 under I.
+  auto stmts = rec.target->statements();
+  ASSERT_EQ(stmts.size(), 2u);
+  EXPECT_EQ(stmts[0].label(), "S2");  // inside the J loop, now first
+  EXPECT_EQ(stmts[1].label(), "S1");
+}
+
+TEST(BlockStructure, ReorderKeepsLayoutSize) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  // Rotate the three children of K: S1 -> position 2, I-loop -> 0,
+  // JL-loop -> 1.
+  IntMat m = statement_reorder(layout, "K", {2, 0, 1});
+  AstRecovery rec = recover_ast(layout, m);
+  EXPECT_EQ(rec.target_layout->size(), layout.size());
+  auto stmts = rec.target->statements();
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_EQ(stmts[0].label(), "S2");
+  EXPECT_EQ(stmts[1].label(), "S3");
+  EXPECT_EQ(stmts[2].label(), "S1");
+}
+
+TEST(BlockStructure, BrokenEdgeRowRejected) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  // Clobber an edge row: edges may not mix with loop columns.
+  IntMat m = IntMat::identity(4);
+  m(1, 0) = 1;
+  EXPECT_NE(check_block_structure(layout, m), "");
+  // An edge row with entry 2 is not a unit selection.
+  IntMat m2 = IntMat::identity(4);
+  m2(1, 1) = 2;
+  EXPECT_NE(check_block_structure(layout, m2), "");
+  // Duplicate edge selection.
+  IntMat m3 = IntMat::identity(4);
+  m3(2, 2) = 0;
+  m3(2, 1) = 1;
+  EXPECT_NE(check_block_structure(layout, m3), "");
+}
+
+TEST(BlockStructure, NonSquareRejected) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_NE(check_block_structure(layout, IntMat(5, 4)), "");
+}
+
+TEST(BlockStructure, LoopRowsAreUnconstrained) {
+  // Loop rows may read any column — alignment reads an edge column.
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  IntMat m = statement_alignment(layout, "S1", "I", 3);
+  EXPECT_EQ(check_block_structure(layout, m), "");
+}
+
+TEST(BlockStructure, RecoveredProgramPrintsAndValidates) {
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  IntMat m = statement_reorder(layout, "K", {1, 2, 0});
+  AstRecovery rec = recover_ast(layout, m);
+  EXPECT_NO_THROW(rec.target->validate());
+  std::string text = print_program(*rec.target);
+  EXPECT_NE(text.find("S3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,164 @@
+// Fig 7's Complete procedure in isolation, plus the failure modes of
+// the global completion (§6).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/parser.hpp"
+#include "linalg/gauss.hpp"
+#include "transform/completion.hpp"
+#include "transform/per_statement.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(CompleteRows, PaperExample) {
+  // §5.4: T_S1 = [0] with unsatisfied self-dependence projection [1]
+  // completes to [0; 1].
+  IntMat t{{0}};
+  IntMat out = complete_rows(t, {dep_from_ints({1})});
+  EXPECT_EQ(out, (IntMat{{0}, {1}}));
+}
+
+TEST(CompleteRows, HeightRowsSatisfyDependences) {
+  // Two dependences of different heights: (0,1,*) and (2,0,0).
+  IntMat t(0, 3);
+  std::vector<DepVector> ds;
+  ds.push_back({DepEntry::exact(0), DepEntry::exact(1), DepEntry::star()});
+  ds.push_back({DepEntry::exact(2), DepEntry::exact(0), DepEntry::exact(0)});
+  IntMat out = complete_rows(t, ds);
+  EXPECT_EQ(rank(out), 3);
+  // Every dependence must be lexicographically positive under the
+  // completed matrix.
+  for (const DepVector& d : ds)
+    EXPECT_EQ(lex_status(transform_dep(out, d)), LexStatus::kPositive);
+}
+
+TEST(CompleteRows, NullspaceCompletionWhenNoDependences) {
+  IntMat t{{1, 1, 0}};
+  IntMat out = complete_rows(t, {});
+  EXPECT_EQ(out.cols(), 3);
+  EXPECT_EQ(rank(out), 3);
+  EXPECT_EQ(out.row(0), (IntVec{1, 1, 0}));  // existing rows preserved
+}
+
+TEST(CompleteRows, ZeroHeightDependenceThrows) {
+  // An "unsatisfied" dependence that is identically zero is a
+  // contradiction (two distinct instances cannot be the same).
+  IntMat t(0, 2);
+  EXPECT_THROW(complete_rows(t, {dep_from_ints({0, 0})}), Error);
+}
+
+TEST(CompleteRows, NonPositiveLeadingEntryThrows) {
+  IntMat t(0, 2);
+  std::vector<DepVector> ds;
+  ds.push_back({DepEntry::non_neg(), DepEntry::exact(1)});
+  EXPECT_THROW(complete_rows(t, ds), Error);
+}
+
+// Property sweep: random orthogonal-start completions reach full rank
+// and order every dependence.
+class CompleteRowsRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompleteRowsRandom, ReachesFullRankAndOrders) {
+  std::mt19937 rng(GetParam() * 7001);
+  std::uniform_int_distribution<int> dim(1, 4), val(0, 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    int k = dim(rng);
+    // Random lexicographically-positive dependence vectors.
+    std::vector<DepVector> ds;
+    int nd = val(rng);
+    for (int i = 0; i < nd; ++i) {
+      IntVec v(k, 0);
+      int h = static_cast<int>(rng() % k);
+      v[h] = 1 + val(rng);
+      for (int q = h + 1; q < k; ++q) v[q] = val(rng) - 1;
+      ds.push_back(dep_from_ints(v));
+    }
+    IntMat t(0, k);  // start from nothing: T_s orthogonality trivial
+    IntMat out = complete_rows(t, ds);
+    EXPECT_EQ(rank(out), k);
+    for (const DepVector& d : ds)
+      EXPECT_EQ(lex_status(transform_dep(out, d)), LexStatus::kPositive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompleteRowsRandom, ::testing::Range(1, 7));
+
+TEST(Completion, CyclicSyntacticConstraintsFail) {
+  // Dependences from a source program always point forward, so the
+  // original order is always available — cycles require a partial row
+  // that collapses a loop-carried dependence to zero. Here the zero
+  // row leaves both "S1 before S2" (flow on A, same iteration) and
+  // "S2 before S1" (flow on B at distance 1, now unsatisfied) pending:
+  // cyclic, so completion must fail.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = B(I - 1) + 1.0
+  S2: B(I) = A(I) * 2.0
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  std::vector<IntVec> zero_row = {IntVec(layout.size(), 0)};
+  EXPECT_THROW(complete_transformation(layout, deps, zero_row),
+               TransformError);
+}
+
+TEST(Completion, OriginalOrderKeptWhenSufficient) {
+  // S1's read of B(I) precedes S2's write (an anti dependence the
+  // original order satisfies); the empty-partial completion keeps the
+  // stable original order.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = B(I) + 1.0
+  S2: B(I) = C(I) * 2.0
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  CompletionResult res = complete_transformation(layout, deps, {});
+  EXPECT_TRUE(res.legality.legal());
+  auto stmts = res.recovery.target->statements();
+  EXPECT_EQ(stmts[0].label(), "S1");
+  EXPECT_EQ(stmts[1].label(), "S2");
+}
+
+TEST(Completion, ReorderingRequiredAndFound) {
+  // A zero partial row un-carries the B flow (S2 at iteration i feeds
+  // S1 at i+1); with no conflicting constraint the topological sort
+  // must put S2 first.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: C(I) = B(I - 1) + 1.0
+  S2: B(I) = 7.0
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  std::vector<IntVec> zero_row = {IntVec(layout.size(), 0)};
+  CompletionResult res = complete_transformation(layout, deps, zero_row);
+  EXPECT_TRUE(res.legality.legal());
+  auto stmts = res.recovery.target->statements();
+  EXPECT_EQ(stmts[0].label(), "S2");
+  EXPECT_EQ(stmts[1].label(), "S1");
+}
+
+TEST(Completion, PartialRowCountLimit) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = 1.0
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  std::vector<IntVec> too_many(2, IntVec(layout.size(), 0));
+  EXPECT_THROW(complete_transformation(layout, deps, too_many), Error);
+}
+
+}  // namespace
+}  // namespace inlt

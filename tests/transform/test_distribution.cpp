@@ -1,0 +1,128 @@
+// §4.2: loop distribution and jamming as non-square matrices.
+//
+// Layout note: our instance vectors follow Eq. (1) exactly (subtrees
+// collected right-to-left), which is the convention the §6 dependence
+// matrix uses; the §4.2 display orders sibling subtrees left-to-right
+// instead, so the matrices below are the Eq.-(1)-consistent versions
+// of the paper's (rows permuted accordingly). DESIGN.md records the
+// discrepancy.
+#include <gtest/gtest.h>
+
+#include "instance/enumerate.hpp"
+#include "ir/gallery.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(Distribution, SimplifiedCholeskyMatrix) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  StructuralTransform st = loop_distribution(layout, "I", 1);
+  // Source layout [I, e2, e1, J]; target layout (two root loops)
+  // [eB, eA, I_2, J, I]: the I-loop copies read the source I row, the
+  // root edges read the source child edges, J maps through.
+  EXPECT_EQ(st.matrix, (IntMat{{0, 1, 0, 0},
+                               {0, 0, 1, 0},
+                               {1, 0, 0, 0},
+                               {0, 0, 0, 1},
+                               {1, 0, 0, 0}}));
+  // Target program: two top-level loops; S1 under the first.
+  ASSERT_EQ(st.target.roots().size(), 2u);
+  auto stmts = st.target.statements();
+  EXPECT_EQ(stmts[0].label(), "S1");
+  EXPECT_EQ(stmts[1].label(), "S2");
+  EXPECT_NO_THROW(st.target.validate());
+}
+
+TEST(Distribution, MatrixMapsInstanceVectorsConsistently) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout src(p);
+  StructuralTransform st = loop_distribution(src, "I", 1);
+  IvLayout dst(st.target);
+  // Loop labels of real (non-padded) positions must transfer: applying
+  // the matrix to a source instance vector reproduces the target
+  // instance vector at every non-padded position.
+  for (auto di : {DynamicInstance{"S1", {3}}, DynamicInstance{"S2", {2, 5}}}) {
+    IntVec mapped = mat_vec(st.matrix, src.instance_vector(di));
+    DynamicInstance tgt_di = di;  // same labels, same iteration values
+    IntVec expect = dst.instance_vector(tgt_di);
+    const auto& info = dst.stmt_info(di.label);
+    for (int pos : info.loop_positions) {
+      EXPECT_EQ(mapped[pos], expect[pos]);
+    }
+    for (int pos : info.path_edge_positions) {
+      EXPECT_EQ(mapped[pos], expect[pos]);
+    }
+  }
+}
+
+TEST(Distribution, ExecutionOrderIsValidDistribution) {
+  // The distributed program runs all S1 instances, then all S2
+  // instances, in their original relative orders.
+  Program p = gallery::simplified_cholesky();
+  IvLayout src(p);
+  StructuralTransform st = loop_distribution(src, "I", 1);
+  auto insts = all_instances(st.target, {{"N", 4}});
+  bool seen_s2 = false;
+  for (const auto& di : insts) {
+    if (di.label == "S2") seen_s2 = true;
+    if (di.label == "S1") {
+      EXPECT_FALSE(seen_s2) << "S1 after S2";
+    }
+  }
+  // Same multiset of instances as the source.
+  auto src_insts = all_instances(p, {{"N", 4}});
+  EXPECT_EQ(insts.size(), src_insts.size());
+}
+
+TEST(Jamming, InverseOfDistribution) {
+  Program p = gallery::simplified_cholesky_distributed();
+  IvLayout src(p);
+  StructuralTransform st = loop_jamming(src, "I", "I2");
+  // Target: single fused loop, children S1 then the J loop.
+  ASSERT_EQ(st.target.roots().size(), 1u);
+  EXPECT_EQ(st.target.roots()[0]->num_children(), 2);
+  auto stmts = st.target.statements();
+  EXPECT_EQ(stmts[0].label(), "S1");
+  EXPECT_EQ(stmts[1].label(), "S2");
+  // Matrix: 4 x 5 mapping distributed vectors back to fused ones.
+  EXPECT_EQ(st.matrix.rows(), 4);
+  EXPECT_EQ(st.matrix.cols(), 5);
+  // Fused instance vectors reproduce the original simplified-Cholesky
+  // ones: S1(i) -> [i,0,1,i], S2(i,j) -> [i,1,0,j].
+  IvLayout dst(st.target);
+  IntVec s1 = mat_vec(st.matrix, src.instance_vector({"S1", {3}}));
+  EXPECT_EQ(s1, dst.instance_vector({"S1", {3}}));
+  IntVec s2 = mat_vec(st.matrix, src.instance_vector({"S2", {2, 5}}));
+  EXPECT_EQ(s2, dst.instance_vector({"S2", {2, 5}}));
+}
+
+TEST(Jamming, RoundTripDistributeThenJam) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout src(p);
+  StructuralTransform dist = loop_distribution(src, "I", 1);
+  IvLayout mid(dist.target);
+  StructuralTransform jam = loop_jamming(mid, "I", "I_2");
+  // The product of the two matrices maps fused space to fused space
+  // and acts as the identity on real positions.
+  IntMat round = mat_mul(jam.matrix, dist.matrix);
+  EXPECT_EQ(round.rows(), 4);
+  EXPECT_EQ(round.cols(), 4);
+  IvLayout fin(jam.target);
+  for (auto di : {DynamicInstance{"S1", {3}}, DynamicInstance{"S2", {2, 5}}}) {
+    IntVec v = mat_vec(round, src.instance_vector(di));
+    EXPECT_EQ(v, fin.instance_vector(di));
+  }
+}
+
+TEST(Distribution, InvalidSplitThrows) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  EXPECT_THROW(loop_distribution(layout, "I", 0), Error);
+  EXPECT_THROW(loop_distribution(layout, "I", 2), Error);
+  EXPECT_THROW(loop_distribution(layout, "J", 1), Error);  // not a root
+}
+
+}  // namespace
+}  // namespace inlt

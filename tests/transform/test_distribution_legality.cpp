@@ -1,0 +1,172 @@
+// §1's distribution claim, made testable: "loop distribution is not
+// always legal; in particular, it is not legal in any of the matrix
+// factorization codes."
+#include <gtest/gtest.h>
+
+#include "exec/verify.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "transform/legality.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(DistributionLegality, IllegalInSimplifiedCholesky) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  std::string diag = check_distribution_legality(layout, deps, "I", 1);
+  EXPECT_FALSE(diag.empty());
+  // The offender is the pivot flow: S2 in the second group produces
+  // values S1 in the first group consumes in later iterations.
+  EXPECT_NE(diag.find("S2 -> S1"), std::string::npos) << diag;
+}
+
+TEST(DistributionLegality, IllegalInFullCholeskyAtEverySplit) {
+  // "... not legal in any of the matrix factorization codes."
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  for (int split : {1, 2}) {
+    std::string diag = check_distribution_legality(layout, deps, "K", split);
+    EXPECT_FALSE(diag.empty()) << "split " << split;
+  }
+}
+
+TEST(DistributionLegality, LegalCaseDistributesAndVerifies) {
+  // Forward-only dependences between the groups: distribution is legal
+  // and the distributed program computes the same memory state.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = A(I - 1) + 1.0
+  do J = 1, N
+    S2: B(I, J) = A(I) * 2.0
+  end
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  EXPECT_EQ(check_distribution_legality(layout, deps, "I", 1), "");
+  StructuralTransform st = loop_distribution(layout, "I", 1);
+  VerifyResult v =
+      verify_equivalence(p, st.target, {{"N", 6}}, FillKind::kRandom);
+  EXPECT_TRUE(v.equivalent) << v.to_string();
+}
+
+TEST(DistributionLegality, IllegalCaseMiscomputesIfForced) {
+  // Sanity of the oracle itself: forcing the illegal distribution of
+  // simplified Cholesky changes the computed values.
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  StructuralTransform st = loop_distribution(layout, "I", 1);
+  VerifyResult v = verify_equivalence(p, st.target, {{"N", 6}});
+  EXPECT_FALSE(v.equivalent);
+}
+
+TEST(DistributionLegality, LegalDistributionRoundTripsThroughJamming) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = C(I) + 1.0
+  S2: B(I) = A(I) * 2.0
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  ASSERT_EQ(check_distribution_legality(layout, deps, "I", 1), "");
+  StructuralTransform dist = loop_distribution(layout, "I", 1);
+  VerifyResult v1 =
+      verify_equivalence(p, dist.target, {{"N", 5}}, FillKind::kRandom);
+  EXPECT_TRUE(v1.equivalent);
+  IvLayout mid(dist.target);
+  StructuralTransform jam = loop_jamming(mid, "I", "I_2");
+  VerifyResult v2 =
+      verify_equivalence(p, jam.target, {{"N", 5}}, FillKind::kRandom);
+  EXPECT_TRUE(v2.equivalent);
+}
+
+TEST(DistributionLegality, GeneralDef6TestAgreesWithGroupCheck) {
+  // The group heuristic and the full Definition-6 test (run against
+  // the distribution's non-square matrix and target layout) must agree
+  // on both the matrix-factorization rejection and the legal case.
+  {
+    Program p = gallery::simplified_cholesky();
+    IvLayout layout(p);
+    DependenceSet deps = analyze_dependences(layout);
+    StructuralTransform st = loop_distribution(layout, "I", 1);
+    IvLayout tl(st.target);
+    LegalityResult r =
+        check_legality_with_target(layout, deps, st.matrix, tl);
+    EXPECT_FALSE(r.legal());
+    EXPECT_NE(check_distribution_legality(layout, deps, "I", 1), "");
+  }
+  {
+    Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = A(I - 1) + 1.0
+  do J = 1, N
+    S2: B(I, J) = A(I) * 2.0
+  end
+end
+)");
+    IvLayout layout(p);
+    DependenceSet deps = analyze_dependences(layout);
+    StructuralTransform st = loop_distribution(layout, "I", 1);
+    IvLayout tl(st.target);
+    LegalityResult r =
+        check_legality_with_target(layout, deps, st.matrix, tl);
+    EXPECT_TRUE(r.legal()) << r.violations.front();
+    EXPECT_EQ(check_distribution_legality(layout, deps, "I", 1), "");
+  }
+}
+
+TEST(DistributionLegality, JammingLegalityViaDef6) {
+  // Jamming the distributed *simplified Cholesky* back is NOT legal as
+  // a standalone transformation: the distributed program's own
+  // semantics (all S1 first) has an output dependence S1 -> S2 that
+  // fusion reverses. (§4.2's distribute/jam round trip is a formal
+  // demonstration of the matrices, not a legal rewrite — the
+  // distribution step was already illegal, see
+  // IllegalInSimplifiedCholesky.) The Def-6 structural test catches
+  // it.
+  {
+    Program p = gallery::simplified_cholesky_distributed();
+    IvLayout layout(p);
+    DependenceSet deps = analyze_dependences(layout);
+    StructuralTransform st = loop_jamming(layout, "I", "I2");
+    IvLayout tl(st.target);
+    LegalityResult r =
+        check_legality_with_target(layout, deps, st.matrix, tl);
+    EXPECT_FALSE(r.legal());
+  }
+  // A legally distributed program jams back legally and verifies.
+  {
+    Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: A(I) = C(I) + 1.0
+end
+do I2 = 1, N
+  S2: B(I2) = A(I2) * 2.0
+end
+)");
+    IvLayout layout(p);
+    DependenceSet deps = analyze_dependences(layout);
+    StructuralTransform st = loop_jamming(layout, "I", "I2");
+    IvLayout tl(st.target);
+    LegalityResult r =
+        check_legality_with_target(layout, deps, st.matrix, tl);
+    EXPECT_TRUE(r.legal()) << (r.violations.empty()
+                                   ? ""
+                                   : r.violations.front());
+    VerifyResult v =
+        verify_equivalence(p, st.target, {{"N", 6}}, FillKind::kRandom);
+    EXPECT_TRUE(v.equivalent) << v.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace inlt

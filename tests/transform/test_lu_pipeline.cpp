@@ -1,0 +1,78 @@
+// The second matrix-factorization family: LU without pivoting through
+// the full pipeline (§1 motivates the framework with "matrix
+// factorization codes" generally, not just Cholesky).
+#include <gtest/gtest.h>
+
+#include "codegen/generate.hpp"
+#include "exec/trace.hpp"
+#include "exec/verify.hpp"
+#include "ir/gallery.hpp"
+#include "transform/completion.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+class LuPipeline : public ::testing::Test {
+ protected:
+  LuPipeline()
+      : prog_(gallery::lu()),
+        layout_(prog_),
+        deps_(analyze_dependences(layout_)) {}
+
+  Program prog_;
+  IvLayout layout_;
+  DependenceSet deps_;
+};
+
+TEST_F(LuPipeline, LayoutShape) {
+  // [K, e2, e1, J, L, I]: root K with two children (I loop, JL nest).
+  EXPECT_EQ(layout_.size(), 6);
+  EXPECT_EQ(layout_.loop_position("K"), 0);
+}
+
+TEST_F(LuPipeline, PivotFlowPresent) {
+  // The scaled column feeds the update: flow S1 -> S2 on A.
+  bool found = false;
+  for (const Dependence& d : deps_.deps)
+    if (d.src == "S1" && d.dst == "S2" && d.kind == DepKind::kFlow)
+      found = true;
+  EXPECT_TRUE(found) << deps_.to_string();
+}
+
+TEST_F(LuPipeline, DistributionIllegal) {
+  // §1's claim covers LU too.
+  EXPECT_NE(check_distribution_legality(layout_, deps_, "K", 1), "");
+}
+
+TEST_F(LuPipeline, IdentityCompletionVerifies) {
+  CompletionResult res = complete_transformation(layout_, deps_, {});
+  CodegenResult cg = generate_code(layout_, deps_, res.matrix);
+  VerifyResult v = verify_equivalence(prog_, cg.program, {{"N", 7}});
+  EXPECT_TRUE(v.equivalent) << v.to_string();
+}
+
+TEST_F(LuPipeline, LeftLookingCompletionVerifies) {
+  // New outer = old L (the column being updated), as for Cholesky §6.
+  IntVec first(6, 0);
+  first[layout_.loop_position("L")] = 1;
+  CompletionResult res = complete_transformation(layout_, deps_, {first});
+  EXPECT_TRUE(res.legality.legal());
+  CodegenResult cg = generate_code(layout_, deps_, res.matrix);
+  for (i64 n : {1, 3, 6}) {
+    VerifyResult v = verify_equivalence(prog_, cg.program, {{"N", n}});
+    EXPECT_TRUE(v.equivalent) << "N=" << n << ": " << v.to_string();
+  }
+  TraceCheckResult t =
+      check_dependence_order(prog_, cg.program, {{"N", 5}});
+  EXPECT_TRUE(t.ok) << t.diagnosis;
+  // The update nest must run before the scaling, as in left-looking
+  // forms.
+  auto stmts = cg.program.statements();
+  EXPECT_EQ(stmts[0].label(), "S2");
+  EXPECT_EQ(stmts[1].label(), "S1");
+}
+
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,126 @@
+// Reproduces the transformation matrices of §4 and their action on
+// the simplified-Cholesky instance vectors.
+#include <gtest/gtest.h>
+
+#include "ir/gallery.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+class PaperMatrices : public ::testing::Test {
+ protected:
+  PaperMatrices()
+      : prog_(gallery::simplified_cholesky()), layout_(prog_) {}
+
+  // Instance vectors with symbolic entries are checked by applying the
+  // matrix to sample concrete instances.
+  IntVec s1(i64 i) { return layout_.instance_vector({"S1", {i}}); }
+  IntVec s2(i64 i, i64 j) { return layout_.instance_vector({"S2", {i, j}}); }
+
+  Program prog_;
+  IvLayout layout_;
+};
+
+TEST_F(PaperMatrices, InterchangeMatrix) {
+  // §4.1: permutation of I and J swaps instance-vector positions 0,3:
+  //   [0 0 0 1; 0 1 0 0; 0 0 1 0; 1 0 0 0]
+  IntMat m = loop_interchange(layout_, "I", "J");
+  EXPECT_EQ(m, (IntMat{{0, 0, 0, 1},
+                       {0, 1, 0, 0},
+                       {0, 0, 1, 0},
+                       {1, 0, 0, 0}}));
+  // "It is coincidental that instance vectors of S1 are left unchanged
+  // by permutation in this example": [I,0,1,I] -> [I,0,1,I].
+  EXPECT_EQ(mat_vec(m, s1(4)), s1(4));
+  // S2: [I,1,0,J] -> [J,1,0,I].
+  EXPECT_EQ(mat_vec(m, s2(2, 5)), (IntVec{5, 1, 0, 2}));
+}
+
+TEST_F(PaperMatrices, SkewMatrix) {
+  // §4.1: skewing the outer loop by the inner:
+  //   [1 0 0 -1; 0 1 0 0; 0 0 1 0; 0 0 0 1]
+  IntMat m = loop_skew(layout_, "I", "J", -1);
+  EXPECT_EQ(m, (IntMat{{1, 0, 0, -1},
+                       {0, 1, 0, 0},
+                       {0, 0, 1, 0},
+                       {0, 0, 0, 1}}));
+  // S1 [I,0,1,I] -> [0,0,1,I]: every instance of S1 lands in iteration
+  // 0 of the new outer loop (the diagonal embedding is orthogonal to
+  // the new outer loop).
+  EXPECT_EQ(mat_vec(m, s1(6)), (IntVec{0, 0, 1, 6}));
+  // S2 [I,1,0,J] -> [I-J,1,0,J].
+  EXPECT_EQ(mat_vec(m, s2(2, 5)), (IntVec{-3, 1, 0, 5}));
+}
+
+TEST_F(PaperMatrices, StatementReorderMatrix) {
+  // §4.2: reordering the J loop and S1 (both children of I):
+  //   [1 0 0 0; 0 0 1 0; 0 1 0 0; 0 0 0 1]
+  IntMat m = statement_reorder(layout_, "I", {1, 0});
+  EXPECT_EQ(m, (IntMat{{1, 0, 0, 0},
+                       {0, 0, 1, 0},
+                       {0, 1, 0, 0},
+                       {0, 0, 0, 1}}));
+  // S1 [I,0,1,I] -> [I,1,0,I]; S2 [I,1,0,J] -> [I,0,1,J].
+  EXPECT_EQ(mat_vec(m, s1(3)), (IntVec{3, 1, 0, 3}));
+  EXPECT_EQ(mat_vec(m, s2(3, 4)), (IntVec{3, 0, 1, 4}));
+}
+
+TEST_F(PaperMatrices, AlignmentMatrix) {
+  // §4.3: aligning S1 with respect to the I loop by +1 shifts S1's
+  // instances and leaves S2 untouched. (The paper's display puts the
+  // offset in S2's edge column, contradicting its own result vectors
+  // [I+1,0,1,I] / [I,1,0,J]; we match the vectors.)
+  IntMat m = statement_alignment(layout_, "S1", "I", 1);
+  EXPECT_EQ(mat_vec(m, s1(4)), (IntVec{5, 0, 1, 4}));
+  EXPECT_EQ(mat_vec(m, s2(4, 6)), s2(4, 6));
+}
+
+TEST_F(PaperMatrices, ReversalMatrix) {
+  // §4.1: "reversal is represented by an identity matrix with ... -1"
+  IntMat m = loop_reversal(layout_, "J");
+  IntMat expected = IntMat::identity(4);
+  expected(3, 3) = -1;
+  EXPECT_EQ(m, expected);
+  EXPECT_EQ(mat_vec(m, s2(2, 5)), (IntVec{2, 1, 0, -5}));
+}
+
+TEST_F(PaperMatrices, ScalingMatrix) {
+  // §4.1: "scaling is ... the diagonal entry ... equal to the scale
+  // factor".
+  IntMat m = loop_scaling(layout_, "J", 2);
+  IntMat expected = IntMat::identity(4);
+  expected(3, 3) = 2;
+  EXPECT_EQ(m, expected);
+  EXPECT_EQ(mat_vec(m, s2(2, 5)), (IntVec{2, 1, 0, 10}));
+}
+
+TEST_F(PaperMatrices, TransformsCompose) {
+  // Sequences of transformations are matrix products (§1).
+  IntMat perm = loop_interchange(layout_, "I", "J");
+  IntMat skew = loop_skew(layout_, "I", "J", 1);
+  IntMat seq = mat_mul(skew, perm);
+  EXPECT_EQ(mat_vec(seq, s2(2, 5)), mat_vec(skew, mat_vec(perm, s2(2, 5))));
+}
+
+TEST_F(PaperMatrices, ScaleFactorMustBePositive) {
+  EXPECT_THROW(loop_scaling(layout_, "J", 0), Error);
+}
+
+TEST_F(PaperMatrices, SkewSelfThrows) {
+  EXPECT_THROW(loop_skew(layout_, "I", "I", 1), Error);
+}
+
+TEST_F(PaperMatrices, LoopPermutationGeneral) {
+  Program chol = gallery::cholesky();
+  IvLayout cl(chol);
+  // Rotate K <- J, J <- L, L <- K, I <- I (loop positions in layout
+  // order are K, J, L, I).
+  IntMat m = loop_permutation(cl, {"J", "L", "K", "I"});
+  IntVec s3 = cl.instance_vector({"S3", {2, 5, 3}});  // [2,1,0,0,5,3,2]
+  // K position gets J's value, J gets L's, L gets K's.
+  EXPECT_EQ(mat_vec(m, s3), (IntVec{5, 1, 0, 0, 3, 2, 2}));
+}
+
+}  // namespace
+}  // namespace inlt

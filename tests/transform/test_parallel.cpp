@@ -1,0 +1,107 @@
+// §1/§7's parallelism claim: parallel directions are nullspace rows of
+// the dependence matrix.
+#include <gtest/gtest.h>
+
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "transform/parallel.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(Parallel, FullyParallelNest) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: A(I, J) = B(I, J) * 2.0
+  end
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  EXPECT_TRUE(deps.deps.empty());
+  EXPECT_EQ(parallel_row_basis(layout, deps).size(), 2u);
+  EXPECT_EQ(parallel_loops(layout, deps),
+            (std::vector<std::string>{"I", "J"}));
+}
+
+TEST(Parallel, InnerRecurrenceLeavesOuterParallel) {
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: A(I, J) = A(I, J - 1) + 1.0
+  end
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  // Every dependence is (0, 1): the I direction is parallel.
+  auto basis = parallel_row_basis(layout, deps);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0][layout.loop_position("I")], 1);
+  EXPECT_EQ(basis[0][layout.loop_position("J")], 0);
+  EXPECT_EQ(parallel_loops(layout, deps), (std::vector<std::string>{"I"}));
+}
+
+TEST(Parallel, DiagonalDependenceGivesWavefrontRow) {
+  // Dependence (1, -1): the nullspace row I + J is the classic
+  // wavefront direction.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: A(I, J) = A(I - 1, J + 1) + 1.0
+  end
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  auto basis = parallel_row_basis(layout, deps);
+  ASSERT_EQ(basis.size(), 1u);
+  i64 ci = basis[0][layout.loop_position("I")];
+  i64 cj = basis[0][layout.loop_position("J")];
+  EXPECT_EQ(ci, cj);  // the (1, 1) direction (up to sign)
+  EXPECT_NE(ci, 0);
+  // The outer loop carries the dependence, so the inner loop is
+  // already doall; the outer is not.
+  EXPECT_EQ(parallel_loops(layout, deps), (std::vector<std::string>{"J"}));
+}
+
+TEST(Parallel, CholeskyInnerLoopsAreDoall) {
+  // The textbook structure of right-looking Cholesky: the K loop is
+  // sequential (it carries every cross-step dependence), while the
+  // scaling loop I and the update loops J, L are doall within a step.
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  EXPECT_EQ(parallel_loops(layout, deps),
+            (std::vector<std::string>{"J", "L", "I"}));  // layout order
+  // But no *direction* annihilates every dependence column: there is
+  // no outer-parallel transformation of the whole nest.
+  EXPECT_TRUE(parallel_row_basis(layout, deps).empty());
+}
+
+TEST(Parallel, ImperfectNestOuterParallel) {
+  // Imperfectly nested but outer-parallel: each I slice is
+  // independent.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  S1: X(I) = 3.0
+  do J = 1, N
+    S2: A(I, J) = A(I, J - 1) + X(I)
+  end
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  ASSERT_FALSE(deps.deps.empty());  // S1 -> S2 flow within the slice
+  auto loops = parallel_loops(layout, deps);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0], "I");
+}
+
+}  // namespace
+}  // namespace inlt

@@ -1,0 +1,85 @@
+// The general-framework baseline (per-statement affine schedules) the
+// paper positions against (§1).
+#include <gtest/gtest.h>
+
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "transform/schedule_baseline.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(ScheduleBaseline, FindsScheduleForSimplifiedCholesky) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  ScheduleSearchStats stats;
+  auto sched = find_schedule(layout, {}, &stats);
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_TRUE(schedule_is_valid(layout, *sched));
+  EXPECT_GT(stats.candidates_checked, 0);
+}
+
+TEST(ScheduleBaseline, FindsScheduleForFullCholesky) {
+  // Full Cholesky HAS a one-dimensional schedule, but not with K
+  // coefficients below 3: the within-step chain S1 -> S2 -> S3 costs
+  // two offset units, and S3(k) -> S1(k+1) must still gain one, so
+  // θ needs slope >= 3 in K. (This squeeze is why Feautrier's part II
+  // moves to multidimensional time.) The default [0,2] box therefore
+  // proves exhaustion; the [0,3] box finds a schedule.
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  EXPECT_FALSE(find_schedule(layout).has_value());
+
+  ScheduleSearchOptions wide;
+  wide.coef_max = 3;
+  auto sched = find_schedule(layout, wide);
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_TRUE(schedule_is_valid(layout, *sched));
+  for (const auto& [label, s] : *sched) {
+    (void)label;
+    EXPECT_GE(s.coef[0], 1);  // every θ climbs with K
+  }
+}
+
+TEST(ScheduleBaseline, ValidityRejectsBadSchedule) {
+  Program p = gallery::simplified_cholesky();
+  IvLayout layout(p);
+  // θ == 0 for everything cannot strictly satisfy any dependence.
+  ScheduleMap all_zero;
+  all_zero["S1"] = {IntVec{0}, 0};
+  all_zero["S2"] = {IntVec{0, 0}, 0};
+  EXPECT_FALSE(schedule_is_valid(layout, all_zero));
+}
+
+TEST(ScheduleBaseline, NoOneDimensionalScheduleForDeepRecurrence) {
+  // A two-level recurrence with O(N^2) dependent chain length has no
+  // 1-D schedule with coefficients in the default box: θ must grow
+  // along a chain of length N*N but a 1-D affine θ over (I, J) grows
+  // at most linearly in each. The search proves exhaustion.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: A(I, J) = A(I, J - 1) + A(I - 1, N) * 0.5
+  end
+end
+)");
+  IvLayout layout(p);
+  auto sched = find_schedule(layout);
+  EXPECT_FALSE(sched.has_value());
+}
+
+TEST(ScheduleBaseline, HandlesMultiRootPrograms) {
+  Program p = gallery::simplified_cholesky_distributed();
+  IvLayout layout(p);
+  auto sched = find_schedule(layout);
+  // The distributed form has cross-nest dependences; the searcher must
+  // either find a valid schedule or prove none exists in the box —
+  // and whatever it returns must pass the validity oracle.
+  if (sched.has_value()) {
+    EXPECT_TRUE(schedule_is_valid(layout, *sched));
+  }
+}
+
+}  // namespace
+}  // namespace inlt
