@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cholesky_orders.dir/bench_cholesky_orders.cpp.o"
+  "CMakeFiles/bench_cholesky_orders.dir/bench_cholesky_orders.cpp.o.d"
+  "bench_cholesky_orders"
+  "bench_cholesky_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cholesky_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_left_right.dir/bench_left_right.cpp.o"
+  "CMakeFiles/bench_left_right.dir/bench_left_right.cpp.o.d"
+  "bench_left_right"
+  "bench_left_right.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_left_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

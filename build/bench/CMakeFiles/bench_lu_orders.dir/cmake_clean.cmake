@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lu_orders.dir/bench_lu_orders.cpp.o"
+  "CMakeFiles/bench_lu_orders.dir/bench_lu_orders.cpp.o.d"
+  "bench_lu_orders"
+  "bench_lu_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lu_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wavefront.dir/bench_wavefront.cpp.o"
+  "CMakeFiles/bench_wavefront.dir/bench_wavefront.cpp.o.d"
+  "bench_wavefront"
+  "bench_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

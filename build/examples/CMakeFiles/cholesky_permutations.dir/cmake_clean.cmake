@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_permutations.dir/cholesky_permutations.cpp.o"
+  "CMakeFiles/cholesky_permutations.dir/cholesky_permutations.cpp.o.d"
+  "cholesky_permutations"
+  "cholesky_permutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

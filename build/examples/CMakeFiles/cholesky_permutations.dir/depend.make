@@ -1,0 +1,2 @@
+# Empty dependencies file for cholesky_permutations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_jamming.dir/distribution_jamming.cpp.o"
+  "CMakeFiles/distribution_jamming.dir/distribution_jamming.cpp.o.d"
+  "distribution_jamming"
+  "distribution_jamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewing_wavefront.dir/skewing_wavefront.cpp.o"
+  "CMakeFiles/skewing_wavefront.dir/skewing_wavefront.cpp.o.d"
+  "skewing_wavefront"
+  "skewing_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewing_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

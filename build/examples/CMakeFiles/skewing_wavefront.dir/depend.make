@@ -1,0 +1,2 @@
+# Empty dependencies file for skewing_wavefront.
+# This may be replaced when dependencies are built.

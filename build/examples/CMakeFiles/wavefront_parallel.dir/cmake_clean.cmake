@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_parallel.dir/wavefront_parallel.cpp.o"
+  "CMakeFiles/wavefront_parallel.dir/wavefront_parallel.cpp.o.d"
+  "wavefront_parallel"
+  "wavefront_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_codegen.dir/generate.cpp.o"
+  "CMakeFiles/inlt_codegen.dir/generate.cpp.o.d"
+  "CMakeFiles/inlt_codegen.dir/simplify.cpp.o"
+  "CMakeFiles/inlt_codegen.dir/simplify.cpp.o.d"
+  "libinlt_codegen.a"
+  "libinlt_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dependence/analyzer.cpp" "src/dependence/CMakeFiles/inlt_dependence.dir/analyzer.cpp.o" "gcc" "src/dependence/CMakeFiles/inlt_dependence.dir/analyzer.cpp.o.d"
+  "/root/repo/src/dependence/direction.cpp" "src/dependence/CMakeFiles/inlt_dependence.dir/direction.cpp.o" "gcc" "src/dependence/CMakeFiles/inlt_dependence.dir/direction.cpp.o.d"
+  "/root/repo/src/dependence/system.cpp" "src/dependence/CMakeFiles/inlt_dependence.dir/system.cpp.o" "gcc" "src/dependence/CMakeFiles/inlt_dependence.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instance/CMakeFiles/inlt_instance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/inlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/inlt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/inlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_dependence.dir/analyzer.cpp.o"
+  "CMakeFiles/inlt_dependence.dir/analyzer.cpp.o.d"
+  "CMakeFiles/inlt_dependence.dir/direction.cpp.o"
+  "CMakeFiles/inlt_dependence.dir/direction.cpp.o.d"
+  "CMakeFiles/inlt_dependence.dir/system.cpp.o"
+  "CMakeFiles/inlt_dependence.dir/system.cpp.o.d"
+  "libinlt_dependence.a"
+  "libinlt_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inlt_dependence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_exec.dir/array.cpp.o"
+  "CMakeFiles/inlt_exec.dir/array.cpp.o.d"
+  "CMakeFiles/inlt_exec.dir/interp.cpp.o"
+  "CMakeFiles/inlt_exec.dir/interp.cpp.o.d"
+  "CMakeFiles/inlt_exec.dir/trace.cpp.o"
+  "CMakeFiles/inlt_exec.dir/trace.cpp.o.d"
+  "CMakeFiles/inlt_exec.dir/verify.cpp.o"
+  "CMakeFiles/inlt_exec.dir/verify.cpp.o.d"
+  "libinlt_exec.a"
+  "libinlt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instance/enumerate.cpp" "src/instance/CMakeFiles/inlt_instance.dir/enumerate.cpp.o" "gcc" "src/instance/CMakeFiles/inlt_instance.dir/enumerate.cpp.o.d"
+  "/root/repo/src/instance/layout.cpp" "src/instance/CMakeFiles/inlt_instance.dir/layout.cpp.o" "gcc" "src/instance/CMakeFiles/inlt_instance.dir/layout.cpp.o.d"
+  "/root/repo/src/instance/program_order.cpp" "src/instance/CMakeFiles/inlt_instance.dir/program_order.cpp.o" "gcc" "src/instance/CMakeFiles/inlt_instance.dir/program_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/inlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/inlt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/inlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_instance.dir/enumerate.cpp.o"
+  "CMakeFiles/inlt_instance.dir/enumerate.cpp.o.d"
+  "CMakeFiles/inlt_instance.dir/layout.cpp.o"
+  "CMakeFiles/inlt_instance.dir/layout.cpp.o.d"
+  "CMakeFiles/inlt_instance.dir/program_order.cpp.o"
+  "CMakeFiles/inlt_instance.dir/program_order.cpp.o.d"
+  "libinlt_instance.a"
+  "libinlt_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

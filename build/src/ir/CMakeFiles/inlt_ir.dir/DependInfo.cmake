@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cpp" "src/ir/CMakeFiles/inlt_ir.dir/affine.cpp.o" "gcc" "src/ir/CMakeFiles/inlt_ir.dir/affine.cpp.o.d"
+  "/root/repo/src/ir/ast.cpp" "src/ir/CMakeFiles/inlt_ir.dir/ast.cpp.o" "gcc" "src/ir/CMakeFiles/inlt_ir.dir/ast.cpp.o.d"
+  "/root/repo/src/ir/gallery.cpp" "src/ir/CMakeFiles/inlt_ir.dir/gallery.cpp.o" "gcc" "src/ir/CMakeFiles/inlt_ir.dir/gallery.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/inlt_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/inlt_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/inlt_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/inlt_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/scalar.cpp" "src/ir/CMakeFiles/inlt_ir.dir/scalar.cpp.o" "gcc" "src/ir/CMakeFiles/inlt_ir.dir/scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/inlt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/inlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_ir.dir/affine.cpp.o"
+  "CMakeFiles/inlt_ir.dir/affine.cpp.o.d"
+  "CMakeFiles/inlt_ir.dir/ast.cpp.o"
+  "CMakeFiles/inlt_ir.dir/ast.cpp.o.d"
+  "CMakeFiles/inlt_ir.dir/gallery.cpp.o"
+  "CMakeFiles/inlt_ir.dir/gallery.cpp.o.d"
+  "CMakeFiles/inlt_ir.dir/parser.cpp.o"
+  "CMakeFiles/inlt_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/inlt_ir.dir/printer.cpp.o"
+  "CMakeFiles/inlt_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/inlt_ir.dir/scalar.cpp.o"
+  "CMakeFiles/inlt_ir.dir/scalar.cpp.o.d"
+  "libinlt_ir.a"
+  "libinlt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

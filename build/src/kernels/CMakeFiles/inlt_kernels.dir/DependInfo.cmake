@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cholesky.cpp" "src/kernels/CMakeFiles/inlt_kernels.dir/cholesky.cpp.o" "gcc" "src/kernels/CMakeFiles/inlt_kernels.dir/cholesky.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/kernels/CMakeFiles/inlt_kernels.dir/lu.cpp.o" "gcc" "src/kernels/CMakeFiles/inlt_kernels.dir/lu.cpp.o.d"
+  "/root/repo/src/kernels/skew.cpp" "src/kernels/CMakeFiles/inlt_kernels.dir/skew.cpp.o" "gcc" "src/kernels/CMakeFiles/inlt_kernels.dir/skew.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/kernels/CMakeFiles/inlt_kernels.dir/stencil.cpp.o" "gcc" "src/kernels/CMakeFiles/inlt_kernels.dir/stencil.cpp.o.d"
+  "/root/repo/src/kernels/util.cpp" "src/kernels/CMakeFiles/inlt_kernels.dir/util.cpp.o" "gcc" "src/kernels/CMakeFiles/inlt_kernels.dir/util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_kernels.dir/cholesky.cpp.o"
+  "CMakeFiles/inlt_kernels.dir/cholesky.cpp.o.d"
+  "CMakeFiles/inlt_kernels.dir/lu.cpp.o"
+  "CMakeFiles/inlt_kernels.dir/lu.cpp.o.d"
+  "CMakeFiles/inlt_kernels.dir/skew.cpp.o"
+  "CMakeFiles/inlt_kernels.dir/skew.cpp.o.d"
+  "CMakeFiles/inlt_kernels.dir/stencil.cpp.o"
+  "CMakeFiles/inlt_kernels.dir/stencil.cpp.o.d"
+  "CMakeFiles/inlt_kernels.dir/util.cpp.o"
+  "CMakeFiles/inlt_kernels.dir/util.cpp.o.d"
+  "libinlt_kernels.a"
+  "libinlt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/constraint.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/constraint.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/constraint.cpp.o.d"
+  "/root/repo/src/linalg/gauss.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/gauss.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/gauss.cpp.o.d"
+  "/root/repo/src/linalg/hermite.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/hermite.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/hermite.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/project.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/project.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/project.cpp.o.d"
+  "/root/repo/src/linalg/rational.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/rational.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/rational.cpp.o.d"
+  "/root/repo/src/linalg/smith.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/smith.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/smith.cpp.o.d"
+  "/root/repo/src/linalg/vec.cpp" "src/linalg/CMakeFiles/inlt_linalg.dir/vec.cpp.o" "gcc" "src/linalg/CMakeFiles/inlt_linalg.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/inlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_linalg.dir/constraint.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/constraint.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/gauss.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/gauss.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/hermite.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/hermite.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/project.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/project.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/rational.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/rational.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/smith.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/smith.cpp.o.d"
+  "CMakeFiles/inlt_linalg.dir/vec.cpp.o"
+  "CMakeFiles/inlt_linalg.dir/vec.cpp.o.d"
+  "libinlt_linalg.a"
+  "libinlt_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

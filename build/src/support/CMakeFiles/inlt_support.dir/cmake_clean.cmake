@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_support.dir/check.cpp.o"
+  "CMakeFiles/inlt_support.dir/check.cpp.o.d"
+  "libinlt_support.a"
+  "libinlt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

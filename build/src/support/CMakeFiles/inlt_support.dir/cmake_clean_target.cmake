@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinlt_support.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/block_structure.cpp" "src/transform/CMakeFiles/inlt_transform.dir/block_structure.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/block_structure.cpp.o.d"
+  "/root/repo/src/transform/completion.cpp" "src/transform/CMakeFiles/inlt_transform.dir/completion.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/completion.cpp.o.d"
+  "/root/repo/src/transform/exact_legality.cpp" "src/transform/CMakeFiles/inlt_transform.dir/exact_legality.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/exact_legality.cpp.o.d"
+  "/root/repo/src/transform/legality.cpp" "src/transform/CMakeFiles/inlt_transform.dir/legality.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/legality.cpp.o.d"
+  "/root/repo/src/transform/parallel.cpp" "src/transform/CMakeFiles/inlt_transform.dir/parallel.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/parallel.cpp.o.d"
+  "/root/repo/src/transform/per_statement.cpp" "src/transform/CMakeFiles/inlt_transform.dir/per_statement.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/per_statement.cpp.o.d"
+  "/root/repo/src/transform/schedule_baseline.cpp" "src/transform/CMakeFiles/inlt_transform.dir/schedule_baseline.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/schedule_baseline.cpp.o.d"
+  "/root/repo/src/transform/transforms.cpp" "src/transform/CMakeFiles/inlt_transform.dir/transforms.cpp.o" "gcc" "src/transform/CMakeFiles/inlt_transform.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dependence/CMakeFiles/inlt_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/instance/CMakeFiles/inlt_instance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/inlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/inlt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/inlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

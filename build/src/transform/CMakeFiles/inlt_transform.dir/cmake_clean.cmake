@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_transform.dir/block_structure.cpp.o"
+  "CMakeFiles/inlt_transform.dir/block_structure.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/completion.cpp.o"
+  "CMakeFiles/inlt_transform.dir/completion.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/exact_legality.cpp.o"
+  "CMakeFiles/inlt_transform.dir/exact_legality.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/legality.cpp.o"
+  "CMakeFiles/inlt_transform.dir/legality.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/parallel.cpp.o"
+  "CMakeFiles/inlt_transform.dir/parallel.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/per_statement.cpp.o"
+  "CMakeFiles/inlt_transform.dir/per_statement.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/schedule_baseline.cpp.o"
+  "CMakeFiles/inlt_transform.dir/schedule_baseline.cpp.o.d"
+  "CMakeFiles/inlt_transform.dir/transforms.cpp.o"
+  "CMakeFiles/inlt_transform.dir/transforms.cpp.o.d"
+  "libinlt_transform.a"
+  "libinlt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

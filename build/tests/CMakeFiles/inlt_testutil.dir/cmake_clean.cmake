@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlt_testutil.dir/common/brute_force.cpp.o"
+  "CMakeFiles/inlt_testutil.dir/common/brute_force.cpp.o.d"
+  "libinlt_testutil.a"
+  "libinlt_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlt_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_structure.dir/transform/test_block_structure.cpp.o"
+  "CMakeFiles/test_block_structure.dir/transform/test_block_structure.cpp.o.d"
+  "test_block_structure"
+  "test_block_structure.pdb"
+  "test_block_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholesky_completion.dir/transform/test_cholesky_completion.cpp.o"
+  "CMakeFiles/test_cholesky_completion.dir/transform/test_cholesky_completion.cpp.o.d"
+  "test_cholesky_completion"
+  "test_cholesky_completion.pdb"
+  "test_cholesky_completion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholesky_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

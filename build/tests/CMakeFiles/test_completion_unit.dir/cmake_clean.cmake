@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_completion_unit.dir/transform/test_completion_unit.cpp.o"
+  "CMakeFiles/test_completion_unit.dir/transform/test_completion_unit.cpp.o.d"
+  "test_completion_unit"
+  "test_completion_unit.pdb"
+  "test_completion_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_completion_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_nests.dir/codegen/test_deep_nests.cpp.o"
+  "CMakeFiles/test_deep_nests.dir/codegen/test_deep_nests.cpp.o.d"
+  "test_deep_nests"
+  "test_deep_nests.pdb"
+  "test_deep_nests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_nests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dep_brute_force.dir/dependence/test_brute_force.cpp.o"
+  "CMakeFiles/test_dep_brute_force.dir/dependence/test_brute_force.cpp.o.d"
+  "test_dep_brute_force"
+  "test_dep_brute_force.pdb"
+  "test_dep_brute_force[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dep_brute_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

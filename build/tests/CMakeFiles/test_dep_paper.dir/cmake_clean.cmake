@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dep_paper.dir/dependence/test_paper_examples.cpp.o"
+  "CMakeFiles/test_dep_paper.dir/dependence/test_paper_examples.cpp.o.d"
+  "test_dep_paper"
+  "test_dep_paper.pdb"
+  "test_dep_paper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dep_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distribution_legality.dir/transform/test_distribution_legality.cpp.o"
+  "CMakeFiles/test_distribution_legality.dir/transform/test_distribution_legality.cpp.o.d"
+  "test_distribution_legality"
+  "test_distribution_legality.pdb"
+  "test_distribution_legality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distribution_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

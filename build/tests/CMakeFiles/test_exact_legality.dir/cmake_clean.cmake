@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_legality.dir/transform/test_exact_legality.cpp.o"
+  "CMakeFiles/test_exact_legality.dir/transform/test_exact_legality.cpp.o.d"
+  "test_exact_legality"
+  "test_exact_legality.pdb"
+  "test_exact_legality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

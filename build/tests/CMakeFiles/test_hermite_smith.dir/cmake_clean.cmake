@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hermite_smith.dir/linalg/test_hermite_smith.cpp.o"
+  "CMakeFiles/test_hermite_smith.dir/linalg/test_hermite_smith.cpp.o.d"
+  "test_hermite_smith"
+  "test_hermite_smith.pdb"
+  "test_hermite_smith[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hermite_smith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

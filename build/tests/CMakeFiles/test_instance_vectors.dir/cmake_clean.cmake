@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance_vectors.dir/instance/test_instance_vectors.cpp.o"
+  "CMakeFiles/test_instance_vectors.dir/instance/test_instance_vectors.cpp.o.d"
+  "test_instance_vectors"
+  "test_instance_vectors.pdb"
+  "test_instance_vectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

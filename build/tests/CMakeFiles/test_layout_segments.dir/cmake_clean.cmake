@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_segments.dir/instance/test_layout_segments.cpp.o"
+  "CMakeFiles/test_layout_segments.dir/instance/test_layout_segments.cpp.o.d"
+  "test_layout_segments"
+  "test_layout_segments.pdb"
+  "test_layout_segments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legality.dir/transform/test_legality.cpp.o"
+  "CMakeFiles/test_legality.dir/transform/test_legality.cpp.o.d"
+  "test_legality"
+  "test_legality.pdb"
+  "test_legality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

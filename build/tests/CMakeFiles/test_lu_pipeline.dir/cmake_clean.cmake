@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lu_pipeline.dir/transform/test_lu_pipeline.cpp.o"
+  "CMakeFiles/test_lu_pipeline.dir/transform/test_lu_pipeline.cpp.o.d"
+  "test_lu_pipeline"
+  "test_lu_pipeline.pdb"
+  "test_lu_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omega_stress.dir/linalg/test_omega_stress.cpp.o"
+  "CMakeFiles/test_omega_stress.dir/linalg/test_omega_stress.cpp.o.d"
+  "test_omega_stress"
+  "test_omega_stress.pdb"
+  "test_omega_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omega_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pad_ablation.dir/codegen/test_pad_ablation.cpp.o"
+  "CMakeFiles/test_pad_ablation.dir/codegen/test_pad_ablation.cpp.o.d"
+  "test_pad_ablation"
+  "test_pad_ablation.pdb"
+  "test_pad_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pad_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

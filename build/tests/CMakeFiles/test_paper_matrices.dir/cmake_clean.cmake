@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_matrices.dir/transform/test_paper_matrices.cpp.o"
+  "CMakeFiles/test_paper_matrices.dir/transform/test_paper_matrices.cpp.o.d"
+  "test_paper_matrices"
+  "test_paper_matrices.pdb"
+  "test_paper_matrices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

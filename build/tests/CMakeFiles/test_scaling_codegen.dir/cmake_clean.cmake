@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_codegen.dir/codegen/test_scaling_codegen.cpp.o"
+  "CMakeFiles/test_scaling_codegen.dir/codegen/test_scaling_codegen.cpp.o.d"
+  "test_scaling_codegen"
+  "test_scaling_codegen.pdb"
+  "test_scaling_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

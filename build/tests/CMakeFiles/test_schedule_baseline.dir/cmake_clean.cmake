@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_baseline.dir/transform/test_schedule_baseline.cpp.o"
+  "CMakeFiles/test_schedule_baseline.dir/transform/test_schedule_baseline.cpp.o.d"
+  "test_schedule_baseline"
+  "test_schedule_baseline.pdb"
+  "test_schedule_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

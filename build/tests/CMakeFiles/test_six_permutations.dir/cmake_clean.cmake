@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_six_permutations.dir/transform/test_six_permutations.cpp.o"
+  "CMakeFiles/test_six_permutations.dir/transform/test_six_permutations.cpp.o.d"
+  "test_six_permutations"
+  "test_six_permutations.pdb"
+  "test_six_permutations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_six_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

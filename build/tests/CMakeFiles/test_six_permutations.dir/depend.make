@@ -1,0 +1,2 @@
+# Empty dependencies file for test_six_permutations.
+# This may be replaced when dependencies are built.

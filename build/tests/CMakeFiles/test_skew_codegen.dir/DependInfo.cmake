@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen/test_skew_codegen.cpp" "tests/CMakeFiles/test_skew_codegen.dir/codegen/test_skew_codegen.cpp.o" "gcc" "tests/CMakeFiles/test_skew_codegen.dir/codegen/test_skew_codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/inlt_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/inlt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/inlt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/inlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/instance/CMakeFiles/inlt_instance.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/inlt_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/inlt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/inlt_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/inlt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/inlt_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

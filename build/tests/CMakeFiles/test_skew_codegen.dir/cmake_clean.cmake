@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skew_codegen.dir/codegen/test_skew_codegen.cpp.o"
+  "CMakeFiles/test_skew_codegen.dir/codegen/test_skew_codegen.cpp.o.d"
+  "test_skew_codegen"
+  "test_skew_codegen.pdb"
+  "test_skew_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skew_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inltc.dir/inltc.cpp.o"
+  "CMakeFiles/inltc.dir/inltc.cpp.o.d"
+  "inltc"
+  "inltc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inltc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

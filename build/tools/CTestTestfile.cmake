@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(inltc_complete_cholesky "/root/repo/build/tools/inltc" "complete" "/root/repo/build/tools/testdata/cholesky.loop" "L" "--verify" "6")
+set_tests_properties(inltc_complete_cholesky PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(inltc_transform_skew "/root/repo/build/tools/inltc" "transform" "/root/repo/build/tools/testdata/skew_example.loop" "skew" "I" "J" "-1" "--verify" "8")
+set_tests_properties(inltc_transform_skew PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(inltc_analyze "/root/repo/build/tools/inltc" "analyze" "/root/repo/build/tools/testdata/cholesky.loop")
+set_tests_properties(inltc_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(inltc_parallel "/root/repo/build/tools/inltc" "parallel" "/root/repo/build/tools/testdata/stencil.loop")
+set_tests_properties(inltc_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(inltc_exact_transform "/root/repo/build/tools/inltc" "transform" "/root/repo/build/tools/testdata/stencil.loop" "skew" "I" "J" "1" "--exact" "--verify" "8")
+set_tests_properties(inltc_exact_transform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
