@@ -1,0 +1,139 @@
+// TransformSession amortization: cold vs. warm candidate evaluation.
+//
+// The session layer exists because the paper's workflow probes many
+// candidate matrices against one program. This benchmark quantifies
+// what the session amortizes on the LU/Cholesky order sweeps:
+//
+//  * Cold      — a fresh session per batch: dependence analysis plus
+//                every Fourier–Motzkin projection from scratch.
+//  * Warm      — one session, repeated batches: analysis amortized and
+//                projections served from the ProjectionCache.
+//  * NoCache   — warm analysis but the projection cache cleared before
+//                every batch, isolating the cache's contribution.
+//  * Threads   — evaluate_all across the session thread pool.
+//
+// Candidates are the legal loop orders of the §6 Cholesky (KIJL
+// permutations) and LU; per-candidate evaluation is legality + full
+// code generation.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "ir/gallery.hpp"
+#include "pipeline/session.hpp"
+#include "transform/transforms.hpp"
+
+namespace {
+
+using namespace inlt;
+
+// The six K/I/J/L orders of the full Cholesky (test_six_permutations
+// exercises the same sweep through the free functions).
+std::vector<IntMat> cholesky_candidates(const IvLayout& layout) {
+  std::vector<IntMat> out;
+  const std::vector<std::vector<std::string>> orders = {
+      {"K", "I", "J", "L"}, {"K", "J", "L", "I"}, {"K", "J", "I", "L"},
+      {"J", "K", "L", "I"}, {"J", "L", "K", "I"}, {"I", "K", "J", "L"},
+  };
+  for (const auto& order : orders)
+    out.push_back(loop_permutation(layout, order));
+  return out;
+}
+
+void BM_SessionCold(benchmark::State& state) {
+  Program p = gallery::cholesky();
+  int legal = 0;
+  for (auto _ : state) {
+    TransformSession session(p);  // re-analyzes every iteration
+    std::vector<IntMat> cands = cholesky_candidates(session.layout());
+    for (const IntMat& m : cands) {
+      CandidateResult r = session.evaluate(m);
+      legal += r.legal ? 1 : 0;
+    }
+    session.projection_cache().clear();
+    benchmark::DoNotOptimize(legal);
+  }
+  state.counters["legal"] = legal == 0 ? 0 : 1;
+}
+BENCHMARK(BM_SessionCold)->Unit(benchmark::kMillisecond);
+
+void BM_SessionWarm(benchmark::State& state) {
+  Program p = gallery::cholesky();
+  TransformSession session(p);
+  std::vector<IntMat> cands = cholesky_candidates(session.layout());
+  // Prime the cache once so every timed batch is fully warm.
+  for (const IntMat& m : cands) session.evaluate(m);
+  int legal = 0;
+  for (auto _ : state) {
+    for (const IntMat& m : cands) {
+      CandidateResult r = session.evaluate(m);
+      legal += r.legal ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(legal);
+  }
+  state.counters["cache_entries"] =
+      static_cast<double>(session.projection_cache().size());
+}
+BENCHMARK(BM_SessionWarm)->Unit(benchmark::kMillisecond);
+
+void BM_SessionWarmNoCache(benchmark::State& state) {
+  // Amortized analysis but no projection reuse: the gap to
+  // BM_SessionWarm is the cache's contribution alone.
+  Program p = gallery::cholesky();
+  TransformSession session(p);
+  std::vector<IntMat> cands = cholesky_candidates(session.layout());
+  int legal = 0;
+  for (auto _ : state) {
+    session.projection_cache().clear();
+    for (const IntMat& m : cands) {
+      CandidateResult r = session.evaluate(m);
+      legal += r.legal ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(legal);
+  }
+}
+BENCHMARK(BM_SessionWarmNoCache)->Unit(benchmark::kMillisecond);
+
+void BM_SessionEvaluateAll(benchmark::State& state) {
+  Program p = gallery::cholesky();
+  SessionOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  TransformSession session(p, opts);
+  std::vector<IntMat> cands = cholesky_candidates(session.layout());
+  for (const IntMat& m : cands) session.evaluate(m);  // warm the cache
+  for (auto _ : state) {
+    std::vector<CandidateResult> rs = session.evaluate_all(cands);
+    benchmark::DoNotOptimize(rs.size());
+  }
+}
+BENCHMARK(BM_SessionEvaluateAll)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SessionLuSweep(benchmark::State& state) {
+  // Same shape on LU: 24 permutations of K/I/J/L — illegal ones are
+  // rejected by the cached legality path, legal ones fully generated.
+  Program p = gallery::lu();
+  bool warm = state.range(0) != 0;
+  TransformSession session(p);
+  std::vector<std::string> vars = {"K", "I", "J", "L"};
+  std::vector<IntMat> cands;
+  std::vector<std::string> order = vars;
+  std::sort(order.begin(), order.end());
+  do {
+    cands.push_back(loop_permutation(session.layout(), order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  if (warm)
+    for (const IntMat& m : cands) session.evaluate(m);
+  int legal = 0;
+  for (auto _ : state) {
+    if (!warm) session.projection_cache().clear();
+    for (const IntMat& m : cands) legal += session.evaluate(m).legal ? 1 : 0;
+    benchmark::DoNotOptimize(legal);
+  }
+  state.SetLabel(warm ? "warm" : "analysis-only");
+  state.counters["candidates"] = static_cast<double>(cands.size());
+}
+BENCHMARK(BM_SessionLuSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

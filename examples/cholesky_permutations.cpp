@@ -2,24 +2,31 @@
 // space through the completion procedure (§6), generating and
 // verifying code for each expressible one, and reporting why the rest
 // are not expressible under the paper's diagonal embedding.
+//
+// Analysis (layout + dependence matrix) runs once inside a
+// TransformSession; each completed matrix is then evaluated against
+// the cached analysis, and failures surface as structured diagnostics.
 #include <algorithm>
 #include <iostream>
 
-#include "codegen/generate.hpp"
 #include "exec/verify.hpp"
 #include "ir/gallery.hpp"
 #include "ir/printer.hpp"
+#include "pipeline/session.hpp"
 #include "transform/completion.hpp"
 
 int main() {
   using namespace inlt;
 
-  Program source = gallery::cholesky();
+  SessionOptions opts;
+  opts.simplify = false;  // keep the paper-shaped raw output
+  TransformSession session(gallery::cholesky(), opts);
+  const Program& source = session.program();
   std::cout << "=== source (right-looking Cholesky, Fig 8 left) ===\n"
             << print_program(source);
-  IvLayout layout(source);
-  DependenceSet deps = analyze_dependences(layout);
-  std::cout << "\n=== dependence matrix (columns) ===\n" << deps.to_string();
+  const IvLayout& layout = session.layout();
+  std::cout << "\n=== dependence matrix (columns) ===\n"
+            << session.dependences().to_string();
 
   std::vector<std::string> vars = {"J", "K", "L"};
   std::sort(vars.begin(), vars.end());
@@ -34,19 +41,21 @@ int main() {
     }
     std::cout << "\n--- ordering " << name << " ---\n";
     try {
-      CompletionResult res = complete_transformation(layout, deps, rows);
+      CompletionResult res =
+          complete_transformation(layout, session.dependences(), rows);
+      CandidateResult cand = session.evaluate(res.matrix);
+      if (!cand.legal) throw TransformError(cand.error);
       ++legal;
-      CodegenResult cg = generate_code(layout, deps, res.matrix);
-      VerifyResult v = verify_equivalence(source, cg.program, {{"N", 10}});
+      VerifyResult v = verify_equivalence(source, *cand.program, {{"N", 10}});
       if (v.equivalent) ++verified;
       std::cout << "legal; verification: " << v.to_string() << "\n";
       std::cout << "statement order:";
-      for (const auto& sc : cg.program.statements())
+      for (const auto& sc : cand.program->statements())
         std::cout << " " << sc.label();
       std::cout << "\n";
       if (name == "LKJ") {
         std::cout << "\n=== generated left-looking code (cf. §6) ===\n"
-                  << print_program(cg.program);
+                  << print_program(*cand.program);
       }
     } catch (const TransformError& e) {
       std::cout << "not expressible: " << e.what() << "\n"
@@ -56,6 +65,9 @@ int main() {
   } while (std::next_permutation(vars.begin(), vars.end()));
 
   std::cout << "\nsummary: " << legal << "/6 orderings expressible, "
-            << verified << " verified semantically equivalent\n";
+            << verified << " verified semantically equivalent\n"
+            << "projection cache: " << session.projection_cache().size()
+            << " entries; FM cache hits "
+            << session.stats().value("fm.cache_hits") << "\n";
   return legal == 4 && verified == 4 ? 0 : 1;
 }

@@ -2,20 +2,27 @@
 // Cholesky fragment (§3/§4) — parse, analyze dependences, build a
 // transformation, check legality, generate code, and verify the
 // result by execution.
+//
+// The program is loaded into a TransformSession once; candidate
+// matrices are then evaluated against the session's cached analysis,
+// and an illegal candidate reports *which* dependence it violates as
+// a structured diagnostic.
 #include <iostream>
 
-#include "codegen/generate.hpp"
 #include "exec/verify.hpp"
-#include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "pipeline/session.hpp"
 #include "transform/transforms.hpp"
 
 int main() {
   using namespace inlt;
 
   // 1. A source program in the mini-language. Statements are labeled;
-  //    bounds and subscripts are affine.
-  Program source = parse_program(R"(
+  //    bounds and subscripts are affine. The session parses it and
+  //    runs layout + dependence analysis once.
+  SessionOptions opts;
+  opts.simplify = false;
+  TransformSession session = TransformSession::from_source(R"(
 param N
 do I = 1, N
   S1: A(I) = sqrt(A(I))
@@ -23,34 +30,41 @@ do I = 1, N
     S2: A(J) = A(J) / A(I)
   end
 end
-)");
-  std::cout << "=== source ===\n" << print_program(source);
+)",
+                                                           opts);
+  std::cout << "=== source ===\n" << print_program(session.program());
 
-  // 2. The instance-vector layout (§2) and dependence analysis (§3).
-  IvLayout layout(source);
+  // 2. The instance-vector layout (§2) and dependence analysis (§3),
+  //    computed by the session.
+  const IvLayout& layout = session.layout();
   std::cout << "\ninstance-vector layout: " << layout.to_string() << "\n";
-  DependenceSet deps = analyze_dependences(layout);
-  std::cout << "\n=== dependences ===\n" << deps.to_string();
+  std::cout << "\n=== dependences ===\n" << session.dependences().to_string();
 
   // 3. A transformation: interchange I and J. Alone it is illegal (S2
   //    feeds S1 within the new outer iteration), so compose the
   //    statement reordering that moves the J loop before S1.
   IntMat interchange = loop_interchange(layout, "I", "J");
-  LegalityResult alone = check_legality(layout, deps, interchange);
-  std::cout << "\ninterchange alone legal? " << (alone.legal() ? "yes" : "no")
+  CandidateResult alone = session.evaluate(interchange);
+  std::cout << "\ninterchange alone legal? " << (alone.legal ? "yes" : "no")
             << "\n";
-  if (!alone.legal())
-    std::cout << "  reason: " << alone.violations.front() << "\n";
+  if (!alone.legal && !alone.diagnostics.empty()) {
+    const Diagnostic& d = alone.diagnostics.front();
+    std::cout << "  violated dependence: " << d.dep_kind << " " << d.src_stmt
+              << " -> " << d.dst_stmt << " on " << d.array << "\n"
+              << "  reason: " << d.message << "\n";
+  }
 
   IntMat m = mat_mul(statement_reorder(layout, "I", {1, 0}), interchange);
-  LegalityResult composed = check_legality(layout, deps, m);
+  CandidateResult composed = session.evaluate(m);
   std::cout << "interchange + reorder legal? "
-            << (composed.legal() ? "yes" : "no") << "\n";
+            << (composed.legal ? "yes" : "no") << "\n";
+  if (!composed.legal) return 1;
 
-  // 4. Code generation (§5) and semantic verification by execution.
-  CodegenResult res = generate_code(layout, deps, m);
-  std::cout << "\n=== transformed ===\n" << print_program(res.program);
-  VerifyResult v = verify_equivalence(source, res.program, {{"N", 12}});
+  // 4. The session already generated code (§5); verify it by
+  //    execution.
+  std::cout << "\n=== transformed ===\n" << print_program(*composed.program);
+  VerifyResult v =
+      verify_equivalence(session.program(), *composed.program, {{"N", 12}});
   std::cout << "\nverification: " << v.to_string() << "\n";
   return v.equivalent ? 0 : 1;
 }

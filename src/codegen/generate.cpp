@@ -8,6 +8,8 @@
 #include "linalg/gauss.hpp"
 #include "linalg/project.hpp"
 #include "support/check.hpp"
+#include "support/diag.hpp"
+#include "support/stats.hpp"
 
 namespace inlt {
 
@@ -211,9 +213,14 @@ StmtCodegen build_stmt_codegen(const IvLayout& src, const StatementPlan& plan,
     ConstraintSystem work = cs;
     for (int inner = ns_count - 1; inner > t; --inner)
       work = eliminate_var_real(work, x_var_index[inner]);
-    if (!normalize_system(work))
-      throw TransformError("transformed iteration space of " + plan.label +
-                           " is empty");
+    if (!normalize_system(work)) {
+      Diagnostic d;
+      d.stage = Stage::kCodegen;
+      d.stmt = plan.label;
+      d.message =
+          "transformed iteration space of " + plan.label + " is empty";
+      throw_diag(std::move(d));
+    }
     int xv = x_var_index[t];
     int row = plan.nonsingular_rows[t];
     for (const LinExpr& e : work.inequalities()) {
@@ -229,9 +236,15 @@ StmtCodegen build_stmt_codegen(const IvLayout& src, const StatementPlan& plan,
     }
     dedup_terms(cg.lower[row]);
     dedup_terms(cg.upper[row]);
-    if (cg.lower[row].empty() || cg.upper[row].empty())
-      throw TransformError("loop " + cg.row_vars[row] + " of " + plan.label +
-                           " is unbounded after transformation");
+    if (cg.lower[row].empty() || cg.upper[row].empty()) {
+      Diagnostic d;
+      d.stage = Stage::kCodegen;
+      d.stmt = plan.label;
+      d.loop = cg.row_vars[row];
+      d.message = "loop " + cg.row_vars[row] + " of " + plan.label +
+                  " is unbounded after transformation";
+      throw_diag(std::move(d));
+    }
   }
 
   // Singular rows: x_r = (sum over earlier independent rows)/D, a
@@ -415,32 +428,51 @@ Program build_program(const IvLayout& src, const AstRecovery& rec,
 
 CodegenResult generate_code(const IvLayout& src, const DependenceSet& deps,
                             const IntMat& m, const CodegenOptions& opts) {
-  AstRecovery rec = recover_ast(src, m);
-  LegalityResult legality = check_legality(src, deps, m, rec);
+  AstRecovery rec = [&] {
+    ScopedTimer t("codegen.recover_ast");
+    return recover_ast(src, m);
+  }();
+  LegalityResult legality = [&] {
+    ScopedTimer t("codegen.legality");
+    return check_legality(src, deps, m, rec);
+  }();
   if (!legality.legal()) {
     std::ostringstream os;
     os << "transformation is illegal:";
     for (const std::string& v : legality.violations) os << "\n  " << v;
-    throw TransformError(os.str());
+    throw DiagnosedTransformError(os.str(), legality.diagnostics);
   }
-  std::vector<StatementPlan> plans =
-      plan_statements(src, deps, m, rec, legality, opts.pad);
+  std::vector<StatementPlan> plans = [&] {
+    ScopedTimer t("codegen.plan");
+    return plan_statements(src, deps, m, rec, legality, opts.pad);
+  }();
+  ScopedTimer t("codegen.build");
   Program out = build_program(src, rec, plans);
   return {std::move(out), std::move(legality), std::move(plans)};
 }
 
 ExactCodegenResult generate_code_exact(const IvLayout& src, const IntMat& m,
                                        const CodegenOptions& opts) {
-  AstRecovery rec = recover_ast(src, m);
-  ExactLegalityResult legality = check_legality_exact(src, m, rec, opts.pad);
+  AstRecovery rec = [&] {
+    ScopedTimer t("codegen.recover_ast");
+    return recover_ast(src, m);
+  }();
+  ExactLegalityResult legality = [&] {
+    ScopedTimer t("codegen.legality");
+    return check_legality_exact(src, m, rec, opts.pad);
+  }();
   if (!legality.legal()) {
     std::ostringstream os;
     os << "transformation is illegal (exact test):";
     for (const std::string& v : legality.violations) os << "\n  " << v;
-    throw TransformError(os.str());
+    throw DiagnosedTransformError(os.str(), legality.diagnostics);
   }
-  std::vector<StatementPlan> plans = plan_statements_from_self(
-      src, m, rec, legality.unsatisfied_self, opts.pad);
+  std::vector<StatementPlan> plans = [&] {
+    ScopedTimer t("codegen.plan");
+    return plan_statements_from_self(src, m, rec, legality.unsatisfied_self,
+                                     opts.pad);
+  }();
+  ScopedTimer t("codegen.build");
   Program out = build_program(src, rec, plans);
   return {std::move(out), std::move(legality), std::move(plans)};
 }

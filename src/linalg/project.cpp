@@ -3,12 +3,43 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <sstream>
 
 #include "support/check.hpp"
+#include "support/stats.hpp"
 
 namespace inlt {
 
 namespace {
+
+// Thread-local so concurrent sessions (and evaluate_all workers) can
+// install independent or shared caches without synchronizing here.
+thread_local ProjectionCache* tl_projection_cache = nullptr;
+
+// Hot-path counters: resolve the registry slot once, then relaxed
+// atomic increments only.
+std::atomic<i64>& stat_eliminations() {
+  static std::atomic<i64>& c = Stats::global().counter("fm.eliminations");
+  return c;
+}
+std::atomic<i64>& stat_tightened() {
+  static std::atomic<i64>& c =
+      Stats::global().counter("fm.constraints_tightened");
+  return c;
+}
+std::atomic<i64>& stat_splinters() {
+  static std::atomic<i64>& c =
+      Stats::global().counter("fm.dark_shadow_splinters");
+  return c;
+}
+std::atomic<i64>& stat_cache_hits() {
+  static std::atomic<i64>& c = Stats::global().counter("fm.cache_hits");
+  return c;
+}
+std::atomic<i64>& stat_cache_misses() {
+  static std::atomic<i64>& c = Stats::global().counter("fm.cache_misses");
+  return c;
+}
 
 // Recursion guard: dependence systems are tiny; anything deeper than
 // this indicates a bug, not a hard problem.
@@ -120,6 +151,7 @@ Partition partition_on(const ConstraintSystem& cs, int j) {
 // Shadow of eliminating variable j. dark=false gives the real shadow,
 // dark=true subtracts (a-1)(b-1) from each combined constant.
 ConstraintSystem shadow(const ConstraintSystem& cs, int j, bool dark) {
+  stat_eliminations().fetch_add(1, std::memory_order_relaxed);
   Partition p = partition_on(cs, j);
   ConstraintSystem out(cs.var_names());
   for (const LinExpr& e : cs.equalities()) {
@@ -222,6 +254,7 @@ bool feasible_rec(ConstraintSystem cs, int depth) {
                                      checked_add(a, bmax)),
                          bmax);
       for (i64 i = 0; i <= hi; ++i) {
+        stat_splinters().fetch_add(1, std::memory_order_relaxed);
         ConstraintSystem sp = cs;
         LinExpr eq = l;
         eq.constant = checked_sub(eq.constant, i);
@@ -262,6 +295,10 @@ bool normalize_system(ConstraintSystem& cs) {
     }
     e.coef = vec_div_exact(e.coef, g);
     e.constant = floor_div(e.constant, g);
+    // g > 1 with a non-divisible constant means the floor division
+    // strictly tightened the constraint (the integer GCD cut).
+    if (g > 1 && e0.constant != checked_mul(e.constant, g))
+      stat_tightened().fetch_add(1, std::memory_order_relaxed);
     auto [it, inserted] = tightest.emplace(e.coef, e.constant);
     if (!inserted) it->second = std::min(it->second, e.constant);
   }
@@ -285,7 +322,10 @@ bool integer_feasible(const ConstraintSystem& cs) {
   return feasible_rec(cs, 0);
 }
 
-ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx) {
+namespace {
+
+ConstraintSystem eliminate_var_real_uncached(const ConstraintSystem& cs,
+                                             int var_idx) {
   INLT_CHECK(var_idx >= 0 && var_idx < cs.num_vars());
   // Equalities mentioning the variable: substitute if a unit
   // coefficient exists, otherwise demote to a pair of inequalities.
@@ -330,6 +370,68 @@ ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx) {
   ConstraintSystem out = shadow(work, var_idx, /*dark=*/false);
   normalize_system(out);  // infeasibility shows up as 0 >= k<0 constraints
   return out;
+}
+
+}  // namespace
+
+ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx) {
+  ProjectionCache* cache = tl_projection_cache;
+  if (!cache) return eliminate_var_real_uncached(cs, var_idx);
+  std::string key = ProjectionCache::key_of(cs, var_idx);
+  if (std::optional<ConstraintSystem> hit = cache->find(key)) {
+    stat_cache_hits().fetch_add(1, std::memory_order_relaxed);
+    return *std::move(hit);
+  }
+  stat_cache_misses().fetch_add(1, std::memory_order_relaxed);
+  ConstraintSystem out = eliminate_var_real_uncached(cs, var_idx);
+  cache->insert(key, out);
+  return out;
+}
+
+std::string ProjectionCache::key_of(const ConstraintSystem& cs, int var_idx) {
+  std::ostringstream os;
+  os << var_idx << ";";
+  for (const std::string& v : cs.var_names()) os << v << ",";
+  auto emit = [&os](const std::vector<LinExpr>& es, char tag) {
+    os << ";" << tag;
+    for (const LinExpr& e : es) {
+      for (i64 c : e.coef) os << c << " ";
+      os << "=" << e.constant << "|";
+    }
+  };
+  emit(cs.equalities(), 'e');
+  emit(cs.inequalities(), 'i');
+  return os.str();
+}
+
+std::optional<ConstraintSystem> ProjectionCache::find(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ProjectionCache::insert(const std::string& key,
+                             const ConstraintSystem& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.emplace(key, value);
+}
+
+size_t ProjectionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void ProjectionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+ProjectionCache* set_projection_cache(ProjectionCache* cache) {
+  ProjectionCache* prev = tl_projection_cache;
+  tl_projection_cache = cache;
+  return prev;
 }
 
 ConstraintSystem project_onto(const ConstraintSystem& cs,

@@ -10,11 +10,55 @@
 // the right tool.
 #pragma once
 
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "linalg/constraint.hpp"
 
 namespace inlt {
+
+/// Memo table for `eliminate_var_real`, keyed by a canonical
+/// serialization of (constraint system, eliminated variable). The
+/// stored value is exactly what the uncached computation produced, so
+/// a hit is bit-identical to a recomputation. Thread-safe; shared by
+/// the worker threads of TransformSession::evaluate_all.
+class ProjectionCache {
+ public:
+  /// Canonical key: var names, equalities, inequalities, var index.
+  static std::string key_of(const ConstraintSystem& cs, int var_idx);
+
+  std::optional<ConstraintSystem> find(const std::string& key) const;
+  void insert(const std::string& key, const ConstraintSystem& value);
+
+  size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ConstraintSystem> map_;
+};
+
+/// Install `cache` as the elimination memo for the current thread;
+/// returns the previously installed cache (nullptr if none). While a
+/// cache is installed, `eliminate_var_real` consults it and records
+/// hits/misses on the global Stats ("fm.cache_hits"/"fm.cache_misses").
+ProjectionCache* set_projection_cache(ProjectionCache* cache);
+
+/// RAII install/restore of the thread's projection cache.
+class ScopedProjectionCache {
+ public:
+  explicit ScopedProjectionCache(ProjectionCache* cache)
+      : prev_(set_projection_cache(cache)) {}
+  ~ScopedProjectionCache() { set_projection_cache(prev_); }
+  ScopedProjectionCache(const ScopedProjectionCache&) = delete;
+  ScopedProjectionCache& operator=(const ScopedProjectionCache&) = delete;
+
+ private:
+  ProjectionCache* prev_;
+};
 
 /// Exact: does the system have an integer solution?
 bool integer_feasible(const ConstraintSystem& cs);

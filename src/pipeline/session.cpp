@@ -1,0 +1,106 @@
+#include "pipeline/session.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "codegen/simplify.hpp"
+#include "ir/parser.hpp"
+
+namespace inlt {
+
+namespace {
+
+int resolve_threads(int requested, size_t work_items) {
+  int n = requested;
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<int>(hw);
+    n = std::min(n, 8);
+  }
+  return std::max(1, std::min(n, static_cast<int>(work_items)));
+}
+
+}  // namespace
+
+TransformSession TransformSession::from_source(const std::string& source_text,
+                                               SessionOptions opts) {
+  return TransformSession(parse_program(source_text), std::move(opts));
+}
+
+TransformSession::TransformSession(Program program, SessionOptions opts)
+    : opts_(std::move(opts)),
+      program_(std::make_unique<Program>(std::move(program))),
+      layout_(std::make_unique<IvLayout>(*program_)) {
+  ScopedTimer t("session.analyze");
+  deps_ = analyze_dependences(*layout_, opts_.analyzer);
+}
+
+CandidateResult TransformSession::evaluate_impl(const IntMat& m) {
+  Stats::global().add("session.evaluations");
+  ScopedProjectionCache install(&cache_);
+  CandidateResult r;
+  try {
+    if (opts_.exact) {
+      ExactCodegenResult res = generate_code_exact(*layout_, m, opts_.codegen);
+      r.legal = true;
+      r.program = opts_.simplify ? simplify_program(res.program)
+                                 : std::move(res.program);
+    } else {
+      CodegenResult res = generate_code(*layout_, deps_, m, opts_.codegen);
+      r.legal = true;
+      r.legality = std::move(res.legality);
+      r.program = opts_.simplify ? simplify_program(res.program)
+                                 : std::move(res.program);
+    }
+  } catch (const DiagnosedTransformError& e) {
+    r.error = e.what();
+    r.diagnostics = e.diagnostics();
+    // An illegal matrix is the common failure: surface it on the
+    // legality member too so callers can treat both paths uniformly.
+    for (const Diagnostic& d : r.diagnostics)
+      if (d.stage == Stage::kLegality) r.legality.violations.push_back(d.message);
+    r.legality.diagnostics = r.diagnostics;
+  } catch (const Error& e) {
+    r.error = e.what();
+    Diagnostic d;
+    d.stage = Stage::kCodegen;
+    d.message = e.what();
+    r.diagnostics.push_back(std::move(d));
+  }
+  if (!r.diagnostics.empty()) {
+    std::lock_guard<std::mutex> lock(diag_mu_);
+    for (const Diagnostic& d : r.diagnostics) diags_.report(d);
+  }
+  return r;
+}
+
+CandidateResult TransformSession::evaluate(const IntMat& m) {
+  return evaluate_impl(m);
+}
+
+std::vector<CandidateResult> TransformSession::evaluate_all(
+    const std::vector<IntMat>& candidates) {
+  std::vector<CandidateResult> out(candidates.size());
+  if (candidates.empty()) return out;
+  int nthreads = resolve_threads(opts_.threads, candidates.size());
+  if (nthreads == 1) {
+    for (size_t i = 0; i < candidates.size(); ++i)
+      out[i] = evaluate_impl(candidates[i]);
+    return out;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= candidates.size()) return;
+      out[i] = evaluate_impl(candidates[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+}  // namespace inlt

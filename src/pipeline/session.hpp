@@ -1,0 +1,116 @@
+// TransformSession — the persistent pipeline layer.
+//
+// The paper's workflow is many transformations probed against one
+// program: analyze a nest once, then evaluate many candidate matrices
+// (completion seeds, permutations, skews) for legality and generated
+// code. The free functions (`analyze_dependences`, `check_legality`,
+// `generate_code`) recompute layout recovery, dependence analysis and
+// Fourier–Motzkin projections from scratch on every call; a session
+// amortizes them:
+//
+//  * the Program, IvLayout and DependenceSet are computed once and
+//    owned by the session;
+//  * Fourier–Motzkin eliminations are memoized in a ProjectionCache
+//    keyed by a canonical serialization of the constraint system, so
+//    repeated candidate evaluations (and the per-row elimination
+//    chains inside a single code generation) reuse projections;
+//  * every candidate's outcome is reported as structured Diagnostics
+//    collected in a per-session DiagnosticEngine;
+//  * `evaluate_all` fans a batch of candidates across a small thread
+//    pool (the per-candidate paths are side-effect-free; results are
+//    deterministic and index-aligned with the input).
+//
+// Instrumentation (FM eliminations, cache hits/misses, legality
+// checks, per-stage codegen time) accumulates on Stats::global().
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/generate.hpp"
+#include "linalg/project.hpp"
+#include "support/diag.hpp"
+#include "support/stats.hpp"
+
+namespace inlt {
+
+struct SessionOptions {
+  AnalyzerOptions analyzer;
+  CodegenOptions codegen;
+  /// Use the exact ILP legality pipeline instead of direction-vector
+  /// hulls (accepts some matrices the hull test rejects; slower).
+  bool exact = false;
+  /// Run the simplification pass on generated programs.
+  bool simplify = true;
+  /// Worker threads for evaluate_all; 0 = hardware concurrency
+  /// (capped at 8), 1 = sequential.
+  int threads = 0;
+};
+
+/// Outcome of evaluating one candidate matrix.
+struct CandidateResult {
+  bool legal = false;
+  /// Hull legality result (empty when opts.exact — see diagnostics).
+  LegalityResult legality;
+  /// Generated (optionally simplified) program; set iff legal.
+  std::optional<Program> program;
+  /// Structured diagnostics for this candidate: legality violations,
+  /// structure errors, codegen failures. Empty for a clean candidate.
+  std::vector<Diagnostic> diagnostics;
+  /// what() of the error that stopped the pipeline, empty otherwise.
+  std::string error;
+};
+
+class TransformSession {
+ public:
+  /// Parse `source_text` and analyze it. Throws on parse/analysis
+  /// errors (same exceptions as the free functions).
+  static TransformSession from_source(const std::string& source_text,
+                                      SessionOptions opts = {});
+
+  explicit TransformSession(Program program, SessionOptions opts = {});
+
+  const Program& program() const { return *program_; }
+  const IvLayout& layout() const { return *layout_; }
+  const DependenceSet& dependences() const { return deps_; }
+  const SessionOptions& options() const { return opts_; }
+
+  /// Evaluate one candidate: legality plus, when legal, generated
+  /// code. Never throws for candidate-specific failures — they land in
+  /// the result's diagnostics (and in diags()).
+  CandidateResult evaluate(const IntMat& m);
+
+  /// Evaluate a batch across the session thread pool. Results are
+  /// index-aligned with `candidates` and identical to sequential
+  /// evaluate() calls (cached projections are bit-identical to
+  /// uncached ones).
+  std::vector<CandidateResult> evaluate_all(
+      const std::vector<IntMat>& candidates);
+
+  /// All diagnostics reported by evaluations so far.
+  DiagnosticEngine& diags() { return diags_; }
+
+  /// The FM projection memo. Clearing it turns the next evaluation
+  /// cold again (bench_session measures exactly this).
+  ProjectionCache& projection_cache() { return cache_; }
+
+  /// Process-wide instrumentation registry (counters incremented by
+  /// this session's work among everything else).
+  Stats& stats() const { return Stats::global(); }
+
+ private:
+  CandidateResult evaluate_impl(const IntMat& m);
+
+  SessionOptions opts_;
+  std::unique_ptr<Program> program_;  // stable address: layout_ points in
+  std::unique_ptr<IvLayout> layout_;
+  DependenceSet deps_;
+  ProjectionCache cache_;
+  std::mutex diag_mu_;  // evaluate_all workers report concurrently
+  DiagnosticEngine diags_;
+};
+
+}  // namespace inlt

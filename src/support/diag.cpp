@@ -1,0 +1,136 @@
+#include "support/diag.hpp"
+
+#include <sstream>
+
+namespace inlt {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kParse: return "parse";
+    case Stage::kLayout: return "layout";
+    case Stage::kDependence: return "dependence";
+    case Stage::kStructure: return "structure";
+    case Stage::kLegality: return "legality";
+    case Stage::kCompletion: return "completion";
+    case Stage::kCodegen: return "codegen";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << severity_name(severity) << "[" << stage_name(stage) << "]";
+  if (!dep_kind.empty()) os << " " << dep_kind;
+  if (!src_stmt.empty() && !dst_stmt.empty())
+    os << " " << src_stmt << " -> " << dst_stmt;
+  else if (!stmt.empty())
+    os << " " << stmt;
+  if (!array.empty()) os << " on " << array;
+  if (!loop.empty()) os << " loop " << loop;
+  os << ": " << message;
+  return os.str();
+}
+
+std::string Diagnostic::to_json() const {
+  std::ostringstream os;
+  os << "{\"severity\":\"" << severity_name(severity) << "\""
+     << ",\"stage\":\"" << stage_name(stage) << "\"";
+  if (!dep_kind.empty()) os << ",\"kind\":\"" << json_escape(dep_kind) << "\"";
+  if (!src_stmt.empty()) os << ",\"src\":\"" << json_escape(src_stmt) << "\"";
+  if (!dst_stmt.empty()) os << ",\"dst\":\"" << json_escape(dst_stmt) << "\"";
+  if (!array.empty()) os << ",\"array\":\"" << json_escape(array) << "\"";
+  if (dep_index >= 0) os << ",\"dep\":" << dep_index;
+  if (!loop.empty()) os << ",\"loop\":\"" << json_escape(loop) << "\"";
+  if (!stmt.empty()) os << ",\"stmt\":\"" << json_escape(stmt) << "\"";
+  os << ",\"message\":\"" << json_escape(message) << "\"}";
+  return os.str();
+}
+
+void DiagnosticEngine::report(Diagnostic d) {
+  diags_.push_back(std::move(d));
+}
+
+bool DiagnosticEngine::has_errors() const {
+  return count(Severity::kError) > 0;
+}
+
+size_t DiagnosticEngine::count(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::vector<const Diagnostic*> DiagnosticEngine::sorted() const {
+  std::vector<const Diagnostic*> out;
+  out.reserve(diags_.size());
+  for (Severity s :
+       {Severity::kError, Severity::kWarning, Severity::kNote})
+    for (const Diagnostic& d : diags_)
+      if (d.severity == s) out.push_back(&d);
+  return out;
+}
+
+std::string DiagnosticEngine::render_all() const {
+  std::string out;
+  for (const Diagnostic* d : sorted()) {
+    out += d->render();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DiagnosticEngine::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic* d : sorted()) {
+    if (!first) out += ",";
+    first = false;
+    out += d->to_json();
+  }
+  out += "]";
+  return out;
+}
+
+DiagnosedTransformError::DiagnosedTransformError(Diagnostic d)
+    : TransformError(d.message), diags_{std::move(d)} {}
+
+DiagnosedTransformError::DiagnosedTransformError(
+    const std::string& what, std::vector<Diagnostic> diags)
+    : TransformError(what), diags_(std::move(diags)) {}
+
+void throw_diag(Diagnostic d) { throw DiagnosedTransformError(std::move(d)); }
+
+}  // namespace inlt

@@ -1,0 +1,114 @@
+// Structured diagnostics for the transformation pipeline.
+//
+// Every stage of the pipeline (layout, dependence analysis, matrix
+// structure checks, legality, completion, code generation) reports
+// problems as Diagnostic records instead of ad-hoc strings: a record
+// names the pipeline stage, the statements, the array and the
+// dependence involved, so drivers can render them as prose, as JSON,
+// or group them programmatically. Exceptions thrown at the public
+// boundary (DiagnosedTransformError) carry the records that produced
+// them, so existing `catch (const TransformError&)` sites keep working
+// while new callers can recover the structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace inlt {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// The stages of the transformation pipeline, in pipeline order.
+enum class Stage {
+  kParse,       ///< source text -> Program
+  kLayout,      ///< Program -> IvLayout (§2)
+  kDependence,  ///< dependence analysis (§3)
+  kStructure,   ///< matrix block-structure / AST recovery checks (§4, Fig 6)
+  kLegality,    ///< Definition 6 legality test
+  kCompletion,  ///< §6 completion procedure
+  kCodegen,     ///< §5 code generation
+};
+
+const char* severity_name(Severity s);
+const char* stage_name(Stage s);
+
+/// One structured diagnostic. Identifier fields are optional; empty
+/// string / -1 mean "not applicable".
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  Stage stage = Stage::kLegality;
+  std::string message;   ///< human-readable description
+
+  std::string src_stmt;  ///< label of the dependence source statement
+  std::string dst_stmt;  ///< label of the dependence destination
+  std::string array;     ///< array inducing the dependence
+  std::string dep_kind;  ///< "flow" / "anti" / "output"
+  int dep_index = -1;    ///< index into the DependenceSet, or -1
+  std::string loop;      ///< loop variable involved, if any
+  std::string stmt;      ///< single statement involved (non-dependence)
+
+  /// "error[legality] flow S2 -> S1 on A: <message>".
+  std::string render() const;
+
+  /// One JSON object (no trailing newline).
+  std::string to_json() const;
+};
+
+/// Collects diagnostics in report order; renders them with errors
+/// first (stable within each severity).
+class DiagnosticEngine {
+ public:
+  void report(Diagnostic d);
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+
+  bool has_errors() const;
+  size_t count(Severity s) const;
+
+  /// Pointers into all(), errors first, then warnings, then notes;
+  /// insertion order preserved within a severity.
+  std::vector<const Diagnostic*> sorted() const;
+
+  /// sorted(), one rendered line each.
+  std::string render_all() const;
+
+  /// JSON array of diagnostic objects, in sorted() order.
+  std::string to_json() const;
+
+  void clear() { diags_.clear(); }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// A TransformError that carries the structured diagnostics it was
+/// built from. Thrown by transform/ and codegen/ at their public
+/// boundaries; `what()` stays a readable prose message so existing
+/// catch sites are unaffected.
+class DiagnosedTransformError : public TransformError {
+ public:
+  explicit DiagnosedTransformError(Diagnostic d);
+  DiagnosedTransformError(const std::string& what,
+                          std::vector<Diagnostic> diags);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Throw a DiagnosedTransformError whose what() is d.message.
+[[noreturn]] void throw_diag(Diagnostic d);
+
+/// JSON string escaping (exposed for the stats dumper too).
+std::string json_escape(const std::string& s);
+
+}  // namespace inlt

@@ -1,0 +1,123 @@
+#include "support/stats.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+
+#include "support/diag.hpp"
+
+namespace inlt {
+
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Stats& Stats::global() {
+  static Stats s;
+  return s;
+}
+
+std::atomic<i64>& Stats::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<std::atomic<i64>>(0);
+  return *slot;
+}
+
+void Stats::add(const std::string& name, i64 delta) {
+  counter(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+i64 Stats::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
+}
+
+void Stats::add_time_ns(const std::string& name, i64 ns) {
+  Timer* t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = timers_[name];
+    if (!slot) slot = std::make_unique<Timer>();
+    t = slot.get();
+  }
+  t->ns.fetch_add(ns, std::memory_order_relaxed);
+  t->count.fetch_add(1, std::memory_order_relaxed);
+}
+
+i64 Stats::time_ns(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  return it == timers_.end() ? 0
+                             : it->second->ns.load(std::memory_order_relaxed);
+}
+
+void Stats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->store(0, std::memory_order_relaxed);
+  for (auto& [name, t] : timers_) {
+    t->ns.store(0, std::memory_order_relaxed);
+    t->count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Stats::to_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, t] : timers_) width = std::max(width, name.size());
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_)
+    os << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << c->load(std::memory_order_relaxed) << "\n";
+  for (const auto& [name, t] : timers_) {
+    double ms =
+        static_cast<double>(t->ns.load(std::memory_order_relaxed)) / 1e6;
+    os << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << std::fixed << std::setprecision(3) << ms << " ms ("
+       << t->count.load(std::memory_order_relaxed) << " calls)\n";
+  }
+  return os.str();
+}
+
+std::string Stats::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name)
+       << "\":" << c->load(std::memory_order_relaxed);
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name)
+       << "\":{\"ns\":" << t->ns.load(std::memory_order_relaxed)
+       << ",\"count\":" << t->count.load(std::memory_order_relaxed) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+ScopedTimer::ScopedTimer(std::string name)
+    : name_(std::move(name)), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  Stats::global().add_time_ns(name_, now_ns() - start_ns_);
+}
+
+}  // namespace inlt

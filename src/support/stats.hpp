@@ -1,0 +1,85 @@
+// Lightweight pipeline instrumentation: named counters and timers.
+//
+// The hot paths of the framework (Fourier–Motzkin elimination, the
+// Omega test, legality checks, the session projection cache) bump
+// counters here; code-generation stages record wall time. One global
+// registry serves the whole process — increments are relaxed atomics,
+// so instrumented code stays thread-safe and cheap — and the whole
+// registry can be dumped as aligned text or JSON (`inltc --stats`).
+//
+// Counter references returned by `counter()` are stable for the life
+// of the process; `reset()` zeroes values without invalidating them,
+// so call sites may cache the reference in a function-local static.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/checked_int.hpp"
+
+namespace inlt {
+
+class Stats {
+ public:
+  /// The process-wide registry.
+  static Stats& global();
+
+  /// Named counter; created zeroed on first use. The reference stays
+  /// valid (and keeps its identity across reset()) forever.
+  std::atomic<i64>& counter(const std::string& name);
+
+  /// counter(name) += delta.
+  void add(const std::string& name, i64 delta = 1);
+
+  /// Current value of a counter (0 if never touched).
+  i64 value(const std::string& name) const;
+
+  /// Accumulate `ns` nanoseconds (and one invocation) on a timer.
+  void add_time_ns(const std::string& name, i64 ns);
+
+  /// Total nanoseconds recorded on a timer (0 if never touched).
+  i64 time_ns(const std::string& name) const;
+
+  /// Zero every counter and timer (references stay valid).
+  void reset();
+
+  /// Aligned "name  value" lines: counters first, then timers (as
+  /// milliseconds with invocation counts). Zero entries included.
+  std::string to_text() const;
+
+  /// {"counters":{...},"timers":{name:{"ns":..,"count":..},...}}.
+  std::string to_json() const;
+
+  Stats() = default;
+  Stats(const Stats&) = delete;
+  Stats& operator=(const Stats&) = delete;
+
+ private:
+  struct Timer {
+    std::atomic<i64> ns{0};
+    std::atomic<i64> count{0};
+  };
+  // unique_ptr keeps addresses stable across map growth.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<i64>>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Adds the elapsed wall time to `Stats::global()` timer `name` on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  i64 start_ns_;
+};
+
+}  // namespace inlt

@@ -3,10 +3,19 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/diag.hpp"
 
 namespace inlt {
 
 namespace {
+
+// Matrix-structure failures (Fig 6 recovery): kStructure-stage errors.
+[[noreturn]] void throw_structure(const std::string& message) {
+  Diagnostic d;
+  d.stage = Stage::kStructure;
+  d.message = message;
+  throw_diag(std::move(d));
+}
 
 struct RecoverState {
   const IvLayout* src;
@@ -39,20 +48,19 @@ std::vector<int> recover_child_perm(RecoverState& st, const Node* node,
       for (int c = 0; c < num_children; ++c)
         if (seg.child_edge_pos[c] == col) old_child = c;
       if (v != 1 || old_child < 0)
-        throw TransformError(
-            "edge row " + std::to_string(row) +
-            " is not a unit selection of a sibling edge column");
+        throw_structure("edge row " + std::to_string(row) +
+                        " is not a unit selection of a sibling edge column");
       if (src_edge >= 0)
-        throw TransformError("edge row " + std::to_string(row) +
-                             " selects multiple columns");
+        throw_structure("edge row " + std::to_string(row) +
+                        " selects multiple columns");
       src_edge = old_child;
     }
     if (src_edge < 0)
-      throw TransformError("edge row " + std::to_string(row) +
-                           " selects no edge column");
+      throw_structure("edge row " + std::to_string(row) +
+                      " selects no edge column");
     if (used[src_edge])
-      throw TransformError("edge rows select old child " +
-                           std::to_string(src_edge) + " twice");
+      throw_structure("edge rows select old child " +
+                      std::to_string(src_edge) + " twice");
     used[src_edge] = true;
     inv[new_index] = src_edge;
   }
@@ -95,7 +103,7 @@ NodePtr recover_rec(RecoverState& st, const Node* node) {
 
 AstRecovery recover_ast(const IvLayout& src, const IntMat& m) {
   if (m.rows() != src.size() || m.cols() != src.size())
-    throw TransformError(
+    throw_structure(
         "transformation matrix must be square over the instance-vector "
         "space (structural transforms use loop_distribution/loop_jamming)");
   RecoverState st{&src, &m, {}, 0};

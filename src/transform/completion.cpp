@@ -6,6 +6,7 @@
 #include <set>
 
 #include "support/check.hpp"
+#include "support/diag.hpp"
 
 namespace inlt {
 
@@ -107,7 +108,11 @@ CompletionResult complete_transformation(
         std::ostringstream os;
         os << "partial row " << li << " (" << vec_to_string(row)
            << ") reverses or blurs a dependence";
-        throw TransformError(os.str());
+        Diagnostic d;
+        d.stage = Stage::kCompletion;
+        d.loop = src.positions()[pl].name;
+        d.message = os.str();
+        throw_diag(std::move(d));
       }
       apply_row(row, /*commit=*/true, nullptr);
       chosen[pl] = row;
@@ -157,9 +162,14 @@ CompletionResult complete_transformation(
           break;  // cannot do better
       }
     }
-    if (!best)
-      throw TransformError("no unit row can legally fill loop " +
-                           src.positions()[pl].name);
+    if (!best) {
+      Diagnostic d;
+      d.stage = Stage::kCompletion;
+      d.loop = src.positions()[pl].name;
+      d.message =
+          "no unit row can legally fill loop " + src.positions()[pl].name;
+      throw_diag(std::move(d));
+    }
     IntVec row = *best;
     apply_row(row, /*commit=*/true, nullptr);
     chosen[pl] = std::move(row);
@@ -202,10 +212,14 @@ CompletionResult complete_transformation(
           pick = c;
           break;  // smallest original index: stable
         }
-      if (pick < 0)
-        throw TransformError(
+      if (pick < 0) {
+        Diagnostic d;
+        d.stage = Stage::kCompletion;
+        d.message =
             "syntactic-order constraints are cyclic; no statement "
-            "reordering satisfies the remaining dependences");
+            "reordering satisfies the remaining dependences";
+        throw_diag(std::move(d));
+      }
       done[pick] = true;
       order.push_back(pick);
       for (int s : succ[pick]) --indegree[s];
@@ -256,7 +270,7 @@ CompletionResult complete_transformation(
     std::ostringstream os;
     os << "completion produced an illegal matrix:";
     for (const std::string& v : result.legality.violations) os << "\n  " << v;
-    throw TransformError(os.str());
+    throw DiagnosedTransformError(os.str(), result.legality.diagnostics);
   }
   return result;
 }

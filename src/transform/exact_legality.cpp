@@ -5,6 +5,7 @@
 #include "instance/program_order.hpp"
 #include "linalg/project.hpp"
 #include "support/check.hpp"
+#include "support/stats.hpp"
 
 namespace inlt {
 
@@ -26,12 +27,27 @@ LinExpr negate(const ConstraintSystem& cs, const LinExpr& e) {
   return r;
 }
 
+void add_violation(ExactLegalityResult& out, const PairSystem& ps,
+                   const std::string& message) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.stage = Stage::kLegality;
+  d.message = message;
+  d.src_stmt = ps.src;
+  d.dst_stmt = ps.dst;
+  d.array = ps.array;
+  d.dep_kind = dep_kind_name(ps.kind);
+  out.violations.push_back(message);
+  out.diagnostics.push_back(std::move(d));
+}
+
 }  // namespace
 
 ExactLegalityResult check_legality_exact(const IvLayout& src,
                                          const IntMat& m,
                                          const AstRecovery& rec,
                                          PadMode pad) {
+  Stats::global().add("legality.exact_checks");
   ExactLegalityResult out;
   const IvLayout& tl = *rec.target_layout;
 
@@ -70,7 +86,7 @@ ExactLegalityResult check_legality_exact(const IvLayout& src,
         os << dep_kind_name(ps.kind) << " " << ps.src << " -> " << ps.dst
            << " on " << ps.array << ": transformed projection can be "
            << "lexicographically negative at level " << t;
-        out.violations.push_back(os.str());
+        add_violation(out, ps, os.str());
         break;
       }
     }
@@ -94,7 +110,7 @@ ExactLegalityResult check_legality_exact(const IvLayout& src,
       os << dep_kind_name(ps.kind) << " " << ps.src << " -> " << ps.dst
          << " on " << ps.array << ": projection can be zero but " << ps.src
          << " does not precede " << ps.dst << " in the new AST";
-      out.violations.push_back(os.str());
+      add_violation(out, ps, os.str());
     }
   }
   return out;

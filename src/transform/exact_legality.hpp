@@ -19,12 +19,16 @@
 #include <map>
 
 #include "dependence/system.hpp"
+#include "support/diag.hpp"
 #include "transform/block_structure.hpp"
 
 namespace inlt {
 
 struct ExactLegalityResult {
   std::vector<std::string> violations;
+  /// Structured form of `violations` (index-aligned): kLegality-stage
+  /// errors naming the access pair and array.
+  std::vector<Diagnostic> diagnostics;
   /// Per statement: its unsatisfied self-dependences (source and
   /// target mapped to the same instance), projected onto the
   /// statement's own loop positions — the input Fig 7's Complete

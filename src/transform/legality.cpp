@@ -3,8 +3,30 @@
 #include <sstream>
 
 #include "instance/program_order.hpp"
+#include "support/stats.hpp"
 
 namespace inlt {
+
+namespace {
+
+// Record one violated dependence as both a structured diagnostic and
+// its rendered prose (the two vectors stay index-aligned).
+void add_violation(LegalityResult& out, const Dependence& d, size_t dep_index,
+                   const std::string& message) {
+  Diagnostic diag;
+  diag.severity = Severity::kError;
+  diag.stage = Stage::kLegality;
+  diag.message = message;
+  diag.src_stmt = d.src;
+  diag.dst_stmt = d.dst;
+  diag.array = d.array;
+  diag.dep_kind = dep_kind_name(d.kind);
+  diag.dep_index = static_cast<int>(dep_index);
+  out.violations.push_back(message);
+  out.diagnostics.push_back(std::move(diag));
+}
+
+}  // namespace
 
 LegalityResult check_legality(const IvLayout& src, const DependenceSet& deps,
                               const IntMat& m, const AstRecovery& rec) {
@@ -15,6 +37,7 @@ LegalityResult check_legality_with_target(const IvLayout& /*src*/,
                                           const DependenceSet& deps,
                                           const IntMat& m,
                                           const IvLayout& tl) {
+  Stats::global().add("legality.checks");
   LegalityResult out;
   for (size_t i = 0; i < deps.deps.size(); ++i) {
     const Dependence& d = deps.deps[i];
@@ -41,7 +64,7 @@ LegalityResult check_legality_with_target(const IvLayout& /*src*/,
              << " " << dep_to_string(d.vector)
              << ": projection zero but " << d.src
              << " does not precede " << d.dst << " in the new AST";
-          out.violations.push_back(os.str());
+          add_violation(out, d, i, os.str());
         }
         break;
       case LexStatus::kNegative: {
@@ -49,7 +72,7 @@ LegalityResult check_legality_with_target(const IvLayout& /*src*/,
         os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " "
            << dep_to_string(d.vector) << ": transformed projection "
            << dep_to_string(p) << " is lexicographically negative";
-        out.violations.push_back(os.str());
+        add_violation(out, d, i, os.str());
         break;
       }
       case LexStatus::kUnknown: {
@@ -58,7 +81,7 @@ LegalityResult check_legality_with_target(const IvLayout& /*src*/,
            << dep_to_string(d.vector) << ": transformed projection "
            << dep_to_string(p)
            << " cannot be proven lexicographically non-negative";
-        out.violations.push_back(os.str());
+        add_violation(out, d, i, os.str());
         break;
       }
     }

@@ -12,13 +12,20 @@
 #include <vector>
 
 #include "dependence/analyzer.hpp"
+#include "support/diag.hpp"
 #include "transform/block_structure.hpp"
 
 namespace inlt {
 
 struct LegalityResult {
-  /// Empty violations == legal.
+  /// Empty violations == legal. Each entry is the rendered message of
+  /// the corresponding entry of `diagnostics` (kept for callers that
+  /// only want prose).
   std::vector<std::string> violations;
+  /// Structured form of the violations: one kLegality-stage error per
+  /// violated dependence, naming source/destination statement, array,
+  /// kind and the index into the DependenceSet.
+  std::vector<Diagnostic> diagnostics;
   /// Indices into deps.deps of self-dependences left unsatisfied
   /// (projection exactly zero) — input to augmentation.
   std::vector<int> unsatisfied;

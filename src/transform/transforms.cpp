@@ -5,6 +5,7 @@
 #include <map>
 
 #include "support/check.hpp"
+#include "support/diag.hpp"
 
 namespace inlt {
 
@@ -17,7 +18,11 @@ const Node* find_root_loop(const Program& p, const std::string& var,
       if (index) *index = static_cast<int>(i);
       return p.roots()[i].get();
     }
-  throw TransformError("loop " + var + " is not a root loop");
+  Diagnostic d;
+  d.stage = Stage::kStructure;
+  d.loop = var;
+  d.message = "loop " + var + " is not a root loop";
+  throw_diag(std::move(d));
 }
 
 const Node* find_loop(const Program& p, const std::string& var) {
@@ -25,7 +30,13 @@ const Node* find_loop(const Program& p, const std::string& var) {
   walk(p, [&](const Node& n, const std::vector<const Node*>&) {
     if (n.is_loop() && n.var() == var) found = &n;
   });
-  if (!found) throw TransformError("no loop named " + var);
+  if (!found) {
+    Diagnostic d;
+    d.stage = Stage::kStructure;
+    d.loop = var;
+    d.message = "no loop named " + var;
+    throw_diag(std::move(d));
+  }
   return found;
 }
 

@@ -1,0 +1,211 @@
+// TransformSession: projection-cache correctness (cached results are
+// bit-identical to uncached), structured diagnostics for illegal
+// candidates, and deterministic threaded evaluate_all.
+#include "pipeline/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codegen/generate.hpp"
+#include "ir/gallery.hpp"
+#include "ir/printer.hpp"
+#include "linalg/project.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+const char* kSimplifiedCholesky = R"(
+param N
+do I = 1, N
+  S1: A(I) = sqrt(A(I))
+  do J = I + 1, N
+    S2: A(J) = A(J) / A(I)
+  end
+end
+)";
+
+// A constraint system with enough structure to exercise elimination:
+// 1 <= i <= n, i <= j <= n, j - i >= 1.
+ConstraintSystem sample_system() {
+  ConstraintSystem cs({"i", "j", "n"});
+  cs.add_var_ge(cs.var("i"), 1);
+  cs.add_diff_ge(cs.var("n"), cs.var("i"), 0);
+  cs.add_diff_ge(cs.var("j"), cs.var("i"), 1);
+  cs.add_diff_ge(cs.var("n"), cs.var("j"), 0);
+  return cs;
+}
+
+TEST(ProjectionCacheTest, HitIsBitIdenticalToUncached) {
+  ConstraintSystem cs = sample_system();
+  // No cache installed: the reference result.
+  ConstraintSystem uncached = eliminate_var_real(cs, cs.var("j"));
+
+  ProjectionCache cache;
+  ScopedProjectionCache scope(&cache);
+  i64 hits0 = Stats::global().value("fm.cache_hits");
+  ConstraintSystem first = eliminate_var_real(cs, cs.var("j"));
+  EXPECT_EQ(cache.size(), 1u);
+  ConstraintSystem second = eliminate_var_real(cs, cs.var("j"));
+  EXPECT_GE(Stats::global().value("fm.cache_hits"), hits0 + 1);
+
+  EXPECT_EQ(first.to_string(), uncached.to_string());
+  EXPECT_EQ(second.to_string(), uncached.to_string());
+}
+
+TEST(ProjectionCacheTest, KeyDistinguishesVariableAndSystem) {
+  ConstraintSystem cs = sample_system();
+  std::string kj = ProjectionCache::key_of(cs, cs.var("j"));
+  std::string ki = ProjectionCache::key_of(cs, cs.var("i"));
+  EXPECT_NE(kj, ki);
+  ConstraintSystem cs2 = sample_system();
+  cs2.add_var_le(cs2.var("j"), 100);
+  EXPECT_NE(ProjectionCache::key_of(cs2, cs2.var("j")), kj);
+  // Same system, same variable -> same key.
+  EXPECT_EQ(ProjectionCache::key_of(sample_system(), cs.var("j")), kj);
+}
+
+TEST(ProjectionCacheTest, InstallIsPerThreadAndRestored) {
+  ProjectionCache cache;
+  {
+    ScopedProjectionCache scope(&cache);
+    ConstraintSystem cs = sample_system();
+    eliminate_var_real(cs, cs.var("i"));
+    EXPECT_EQ(cache.size(), 1u);
+  }
+  // Scope gone: further eliminations must not touch the cache.
+  ConstraintSystem cs = sample_system();
+  eliminate_var_real(cs, cs.var("j"));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SessionTest, CachedEvaluationMatchesFreeFunctions) {
+  // The session's generated program must be byte-identical to the free
+  // generate_code path (which runs uncached) — both on the first
+  // (cache-filling) and second (cache-served) evaluation.
+  SessionOptions opts;
+  opts.simplify = false;
+  TransformSession session(gallery::cholesky(), opts);
+  IntMat m = loop_permutation(session.layout(), {"K", "J", "L", "I"});
+
+  CodegenResult reference =
+      generate_code(session.layout(), session.dependences(), m);
+  std::string expected = print_program(reference.program);
+
+  CandidateResult cold = session.evaluate(m);
+  ASSERT_TRUE(cold.legal) << cold.error;
+  EXPECT_EQ(print_program(*cold.program), expected);
+
+  i64 hits0 = Stats::global().value("fm.cache_hits");
+  CandidateResult warm = session.evaluate(m);
+  ASSERT_TRUE(warm.legal);
+  EXPECT_EQ(print_program(*warm.program), expected);
+  EXPECT_GT(Stats::global().value("fm.cache_hits"), hits0);
+}
+
+TEST(SessionTest, IllegalCandidateNamesTheDependence) {
+  TransformSession session = TransformSession::from_source(kSimplifiedCholesky);
+  IntMat m = loop_interchange(session.layout(), "I", "J");
+  CandidateResult r = session.evaluate(m);
+  EXPECT_FALSE(r.legal);
+  EXPECT_FALSE(r.program.has_value());
+  EXPECT_FALSE(r.error.empty());
+  ASSERT_FALSE(r.diagnostics.empty());
+
+  // At least one diagnostic is a legality error naming the violated
+  // dependence: statements, array, kind.
+  bool found = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.stage != Stage::kLegality) continue;
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_FALSE(d.src_stmt.empty());
+    EXPECT_FALSE(d.dst_stmt.empty());
+    EXPECT_EQ(d.array, "A");
+    EXPECT_TRUE(d.dep_kind == "flow" || d.dep_kind == "anti" ||
+                d.dep_kind == "output")
+        << d.dep_kind;
+    EXPECT_GE(d.dep_index, 0);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  // The same diagnostics landed in the session engine.
+  EXPECT_TRUE(session.diags().has_errors());
+}
+
+TEST(SessionTest, LegalityViolationsMirrorDiagnostics) {
+  TransformSession session = TransformSession::from_source(kSimplifiedCholesky);
+  CandidateResult r =
+      session.evaluate(loop_interchange(session.layout(), "I", "J"));
+  ASSERT_FALSE(r.legal);
+  ASSERT_FALSE(r.legality.violations.empty());
+  ASSERT_EQ(r.legality.violations.size(), r.legality.diagnostics.size());
+  for (size_t i = 0; i < r.legality.violations.size(); ++i)
+    EXPECT_EQ(r.legality.violations[i], r.legality.diagnostics[i].message);
+}
+
+std::vector<IntMat> lu_candidates(const IvLayout& layout) {
+  std::vector<IntMat> out;
+  std::vector<std::string> order = {"I", "J", "K", "L"};
+  std::sort(order.begin(), order.end());
+  do {
+    out.push_back(loop_permutation(layout, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+TEST(SessionTest, EvaluateAllMatchesSequentialAndIsDeterministic) {
+  Program p = gallery::lu();
+
+  // Sequential reference.
+  SessionOptions seq_opts;
+  seq_opts.threads = 1;
+  TransformSession seq(p, seq_opts);
+  std::vector<IntMat> cands = lu_candidates(seq.layout());
+  std::vector<CandidateResult> expected;
+  for (const IntMat& m : cands) expected.push_back(seq.evaluate(m));
+
+  SessionOptions par_opts;
+  par_opts.threads = 4;
+  TransformSession par(p, par_opts);
+  for (int round = 0; round < 2; ++round) {  // cold round, then warm
+    std::vector<CandidateResult> got = par.evaluate_all(cands);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].legal, expected[i].legal) << "candidate " << i;
+      ASSERT_EQ(got[i].program.has_value(), expected[i].program.has_value());
+      if (got[i].program)
+        EXPECT_EQ(print_program(*got[i].program),
+                  print_program(*expected[i].program))
+            << "candidate " << i << " round " << round;
+      EXPECT_EQ(got[i].error, expected[i].error) << "candidate " << i;
+    }
+  }
+}
+
+TEST(SessionTest, EvaluateAllSequentialFallback) {
+  SessionOptions opts;
+  opts.threads = 1;
+  TransformSession session(gallery::cholesky(), opts);
+  std::vector<IntMat> cands = {
+      loop_permutation(session.layout(), {"K", "I", "J", "L"}),
+      loop_permutation(session.layout(), {"K", "J", "I", "L"}),
+  };
+  std::vector<CandidateResult> rs = session.evaluate_all(cands);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_TRUE(rs[0].legal) << rs[0].error;
+}
+
+TEST(SessionTest, FromSourceParsesAndAnalyzesOnce) {
+  TransformSession session = TransformSession::from_source(kSimplifiedCholesky);
+  EXPECT_EQ(session.program().statements().size(), 2u);
+  EXPECT_FALSE(session.dependences().deps.empty());
+  // Identity candidate is trivially legal.
+  CandidateResult r = session.evaluate(IntMat::identity(session.layout().size()));
+  EXPECT_TRUE(r.legal) << r.error;
+}
+
+}  // namespace
+}  // namespace inlt

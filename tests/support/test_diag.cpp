@@ -1,0 +1,150 @@
+// DiagnosticEngine: ordering, rendering, JSON, and the exception
+// bridge at the public boundary.
+#include "support/diag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace inlt {
+namespace {
+
+Diagnostic make(Severity sev, Stage stage, const std::string& msg) {
+  Diagnostic d;
+  d.severity = sev;
+  d.stage = stage;
+  d.message = msg;
+  return d;
+}
+
+TEST(Diag, NamesCoverEnums) {
+  EXPECT_STREQ(severity_name(Severity::kNote), "note");
+  EXPECT_STREQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+  EXPECT_STREQ(stage_name(Stage::kParse), "parse");
+  EXPECT_STREQ(stage_name(Stage::kLayout), "layout");
+  EXPECT_STREQ(stage_name(Stage::kDependence), "dependence");
+  EXPECT_STREQ(stage_name(Stage::kStructure), "structure");
+  EXPECT_STREQ(stage_name(Stage::kLegality), "legality");
+  EXPECT_STREQ(stage_name(Stage::kCompletion), "completion");
+  EXPECT_STREQ(stage_name(Stage::kCodegen), "codegen");
+}
+
+TEST(Diag, RenderDependenceDiagnostic) {
+  Diagnostic d = make(Severity::kError, Stage::kLegality, "not lex positive");
+  d.src_stmt = "S2";
+  d.dst_stmt = "S1";
+  d.array = "A";
+  d.dep_kind = "flow";
+  std::string r = d.render();
+  EXPECT_NE(r.find("error[legality]"), std::string::npos) << r;
+  EXPECT_NE(r.find("flow S2 -> S1 on A"), std::string::npos) << r;
+  EXPECT_NE(r.find("not lex positive"), std::string::npos) << r;
+}
+
+TEST(Diag, RenderPlainDiagnostic) {
+  Diagnostic d = make(Severity::kWarning, Stage::kCodegen, "odd bounds");
+  std::string r = d.render();
+  EXPECT_NE(r.find("warning[codegen]"), std::string::npos) << r;
+  EXPECT_NE(r.find("odd bounds"), std::string::npos) << r;
+  // No dependence fields -> no stray arrow.
+  EXPECT_EQ(r.find("->"), std::string::npos) << r;
+}
+
+TEST(Diag, SortedIsErrorsFirstAndStable) {
+  DiagnosticEngine eng;
+  eng.report(make(Severity::kNote, Stage::kCodegen, "n1"));
+  eng.report(make(Severity::kError, Stage::kLegality, "e1"));
+  eng.report(make(Severity::kWarning, Stage::kCodegen, "w1"));
+  eng.report(make(Severity::kError, Stage::kStructure, "e2"));
+  eng.report(make(Severity::kNote, Stage::kLayout, "n2"));
+
+  std::vector<const Diagnostic*> s = eng.sorted();
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0]->message, "e1");  // errors first, insertion order kept
+  EXPECT_EQ(s[1]->message, "e2");
+  EXPECT_EQ(s[2]->message, "w1");
+  EXPECT_EQ(s[3]->message, "n1");
+  EXPECT_EQ(s[4]->message, "n2");
+
+  // all() keeps raw report order.
+  EXPECT_EQ(eng.all().front().message, "n1");
+  EXPECT_TRUE(eng.has_errors());
+  EXPECT_EQ(eng.count(Severity::kError), 2u);
+  EXPECT_EQ(eng.count(Severity::kWarning), 1u);
+  EXPECT_EQ(eng.count(Severity::kNote), 2u);
+}
+
+TEST(Diag, RenderAllOnePerLineInSortedOrder) {
+  DiagnosticEngine eng;
+  eng.report(make(Severity::kNote, Stage::kCodegen, "after"));
+  eng.report(make(Severity::kError, Stage::kLegality, "first"));
+  std::string text = eng.render_all();
+  size_t e = text.find("first");
+  size_t n = text.find("after");
+  ASSERT_NE(e, std::string::npos);
+  ASSERT_NE(n, std::string::npos);
+  EXPECT_LT(e, n);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Diag, JsonIsWellFormedAndEscaped) {
+  DiagnosticEngine eng;
+  Diagnostic d = make(Severity::kError, Stage::kLegality, "say \"no\"\n");
+  d.src_stmt = "S1";
+  d.dep_index = 3;
+  eng.report(d);
+  std::string j = eng.to_json();
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), ']');
+  EXPECT_NE(j.find("\"severity\":\"error\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"stage\":\"legality\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\\\"no\\\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\\n"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"dep\":3"), std::string::npos) << j;
+}
+
+TEST(Diag, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\001b"), "a\\u0001b");
+}
+
+TEST(Diag, ThrowDiagCarriesDiagnosticAndIsTransformError) {
+  Diagnostic d = make(Severity::kError, Stage::kStructure, "bad block");
+  d.loop = "I";
+  try {
+    throw_diag(d);
+    FAIL() << "throw_diag returned";
+  } catch (const TransformError& e) {  // old catch sites still work
+    const auto* de = dynamic_cast<const DiagnosedTransformError*>(&e);
+    ASSERT_NE(de, nullptr);
+    ASSERT_EQ(de->diagnostics().size(), 1u);
+    EXPECT_EQ(de->diagnostics()[0].loop, "I");
+    EXPECT_STREQ(e.what(), "bad block");
+  }
+}
+
+TEST(Diag, DiagnosedErrorKeepsProseWhat) {
+  std::vector<Diagnostic> ds = {
+      make(Severity::kError, Stage::kLegality, "v1"),
+      make(Severity::kError, Stage::kLegality, "v2"),
+  };
+  DiagnosedTransformError e("matrix is illegal: 2 violations", ds);
+  EXPECT_STREQ(e.what(), "matrix is illegal: 2 violations");
+  EXPECT_EQ(e.diagnostics().size(), 2u);
+}
+
+TEST(Diag, ClearEmptiesEngine) {
+  DiagnosticEngine eng;
+  eng.report(make(Severity::kError, Stage::kLegality, "x"));
+  EXPECT_FALSE(eng.empty());
+  eng.clear();
+  EXPECT_TRUE(eng.empty());
+  EXPECT_FALSE(eng.has_errors());
+  EXPECT_EQ(eng.to_json(), "[]");
+}
+
+}  // namespace
+}  // namespace inlt

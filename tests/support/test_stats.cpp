@@ -1,0 +1,97 @@
+// Stats registry: counters, timers, reset semantics, text/JSON dumps.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace inlt {
+namespace {
+
+TEST(Stats, CountersAccumulateAndReset) {
+  Stats s;
+  EXPECT_EQ(s.value("a"), 0);
+  s.add("a");
+  s.add("a", 4);
+  s.add("b", 2);
+  EXPECT_EQ(s.value("a"), 5);
+  EXPECT_EQ(s.value("b"), 2);
+  s.reset();
+  EXPECT_EQ(s.value("a"), 0);
+  EXPECT_EQ(s.value("b"), 0);
+}
+
+TEST(Stats, CounterReferenceSurvivesResetAndGrowth) {
+  Stats s;
+  std::atomic<i64>& a = s.counter("ref.a");
+  a.fetch_add(7);
+  // Force map growth around it.
+  for (int i = 0; i < 64; ++i) s.add("grow." + std::to_string(i));
+  EXPECT_EQ(&a, &s.counter("ref.a"));
+  EXPECT_EQ(s.value("ref.a"), 7);
+  s.reset();
+  EXPECT_EQ(a.load(), 0);  // same atomic, zeroed
+  a.fetch_add(3);
+  EXPECT_EQ(s.value("ref.a"), 3);
+}
+
+TEST(Stats, TimersAccumulate) {
+  Stats s;
+  EXPECT_EQ(s.time_ns("t"), 0);
+  s.add_time_ns("t", 1000);
+  s.add_time_ns("t", 500);
+  EXPECT_EQ(s.time_ns("t"), 1500);
+  s.reset();
+  EXPECT_EQ(s.time_ns("t"), 0);
+}
+
+TEST(Stats, ConcurrentIncrementsAreExact) {
+  Stats s;
+  std::atomic<i64>& c = s.counter("mt");
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(s.value("mt"), 40000);
+}
+
+TEST(Stats, TextDumpListsCountersAndTimers) {
+  Stats s;
+  s.add("fm.eliminations", 12);
+  s.add_time_ns("codegen.build", 2'000'000);
+  std::string text = s.to_text();
+  EXPECT_NE(text.find("fm.eliminations"), std::string::npos) << text;
+  EXPECT_NE(text.find("12"), std::string::npos) << text;
+  EXPECT_NE(text.find("codegen.build"), std::string::npos) << text;
+}
+
+TEST(Stats, JsonDumpShape) {
+  Stats s;
+  s.add("c1", 3);
+  s.add_time_ns("t1", 42);
+  std::string j = s.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"c1\":3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"timers\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"t1\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"ns\":42"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos) << j;
+}
+
+TEST(Stats, ScopedTimerRecordsIntoGlobal) {
+  const std::string name = "test.scoped_timer_probe";
+  i64 before_ns = Stats::global().time_ns(name);
+  { ScopedTimer t(name); }
+  { ScopedTimer t(name); }
+  EXPECT_GE(Stats::global().time_ns(name), before_ns);
+  // Two invocations recorded (count lives inside the timer entry; the
+  // JSON dump is the public view of it).
+  std::string j = Stats::global().to_json();
+  EXPECT_NE(j.find("\"" + name + "\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace inlt

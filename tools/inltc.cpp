@@ -17,18 +17,23 @@
 //        --raw        skip the simplification pass
 //        --exact      use the exact ILP legality pipeline
 //        --pad-zero   zero padding instead of diagonal (ablation)
+//        --stats      dump pipeline counters and timers to stderr
+//        --diag-json  print structured diagnostics as JSON on stdout
+//
+// All commands run through a TransformSession: the program is parsed
+// and analyzed once, candidate matrices are evaluated against the
+// cached analysis, and failures are reported as structured
+// diagnostics (see src/support/diag.hpp).
 //
 // <file> may be '-' for stdin.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "codegen/generate.hpp"
-#include "codegen/simplify.hpp"
 #include "exec/trace.hpp"
 #include "exec/verify.hpp"
-#include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "pipeline/session.hpp"
 #include "transform/completion.hpp"
 #include "transform/parallel.hpp"
 #include "transform/transforms.hpp"
@@ -47,7 +52,7 @@ commands:
   parallel  <file>                 parallel directions (§7)
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
-flags: --verify N | --raw | --exact | --pad-zero
+flags: --verify N | --raw | --exact | --pad-zero | --stats | --diag-json
 )";
   std::exit(2);
 }
@@ -72,6 +77,8 @@ struct Options {
   i64 verify_n = 0;
   bool raw = false;
   bool exact = false;
+  bool stats = false;
+  bool diag_json = false;
   PadMode pad = PadMode::kDiagonal;
   std::vector<std::string> args;  // non-flag arguments
 };
@@ -89,6 +96,10 @@ Options parse_flags(int argc, char** argv, int first) {
       o.exact = true;
     } else if (a == "--pad-zero") {
       o.pad = PadMode::kZero;
+    } else if (a == "--stats") {
+      o.stats = true;
+    } else if (a == "--diag-json") {
+      o.diag_json = true;
     } else {
       o.args.push_back(a);
     }
@@ -147,9 +158,12 @@ IntMat parse_ops(const IvLayout& layout, const std::vector<std::string>& ops,
   return m;
 }
 
-int emit_and_verify(const Program& source, Program result,
+void dump_stats(const Options& opts) {
+  if (opts.stats) std::cerr << Stats::global().to_text();
+}
+
+int emit_and_verify(const Program& source, const Program& result,
                     const Options& opts) {
-  if (!opts.raw) result = simplify_program(result);
   std::cout << print_program(result);
   if (opts.verify_n > 0) {
     VerifyResult v =
@@ -165,6 +179,28 @@ int emit_and_verify(const Program& source, Program result,
   return 0;
 }
 
+// Evaluate `m` through the session; emit the program on success and
+// the diagnostics (prose to stderr, or JSON to stdout under
+// --diag-json) on failure.
+int run_candidate(TransformSession& session, const IntMat& m,
+                  const Options& opts) {
+  CandidateResult r = session.evaluate(m);
+  if (r.legal) {
+    int rc = emit_and_verify(session.program(), *r.program, opts);
+    dump_stats(opts);
+    return rc;
+  }
+  if (opts.diag_json) {
+    DiagnosticEngine render;
+    for (const Diagnostic& d : r.diagnostics) render.report(d);
+    std::cout << render.to_json() << "\n";
+  } else {
+    std::cerr << "inltc: " << r.error << "\n";
+  }
+  dump_stats(opts);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,35 +211,35 @@ int main(int argc, char** argv) {
   std::string path = opts.args[0];
 
   try {
-    Program source = parse_program(read_source(path));
-    IvLayout layout(source);
+    SessionOptions sopts;
+    sopts.analyzer = {opts.pad, 8};
+    sopts.codegen = {opts.pad};
+    sopts.exact = opts.exact;
+    sopts.simplify = !opts.raw;
+    TransformSession session =
+        TransformSession::from_source(read_source(path), sopts);
+    const IvLayout& layout = session.layout();
+    const DependenceSet& deps = session.dependences();
 
     if (cmd == "analyze") {
       std::cout << "instance-vector layout: " << layout.to_string() << "\n\n"
                 << "dependences:\n";
-      DependenceSet deps = analyze_dependences(layout, {opts.pad, 8});
       std::cout << deps.to_string();
       std::cout << "\ndoall loops:";
       for (const std::string& v : parallel_loops(layout, deps))
         std::cout << " " << v;
       std::cout << "\n";
+      dump_stats(opts);
       return 0;
     }
 
     if (cmd == "transform") {
       IntMat m = parse_ops(layout, opts.args, 1);
       std::cerr << "matrix:\n" << mat_to_string(m) << "\n";
-      if (opts.exact) {
-        ExactCodegenResult res = generate_code_exact(layout, m, {opts.pad});
-        return emit_and_verify(source, std::move(res.program), opts);
-      }
-      DependenceSet deps = analyze_dependences(layout, {opts.pad, 8});
-      CodegenResult res = generate_code(layout, deps, m, {opts.pad});
-      return emit_and_verify(source, std::move(res.program), opts);
+      return run_candidate(session, m, opts);
     }
 
     if (cmd == "complete") {
-      DependenceSet deps = analyze_dependences(layout, {opts.pad, 8});
       std::vector<IntVec> rows;
       for (size_t i = 1; i < opts.args.size(); ++i) {
         IntVec r(layout.size(), 0);
@@ -213,24 +249,34 @@ int main(int argc, char** argv) {
       CompletionResult res = complete_transformation(layout, deps, rows);
       std::cerr << "completed matrix:\n" << mat_to_string(res.matrix)
                 << "\n";
-      CodegenResult cg = generate_code(layout, deps, res.matrix, {opts.pad});
-      return emit_and_verify(source, std::move(cg.program), opts);
+      return run_candidate(session, res.matrix, opts);
     }
 
     if (cmd == "parallel") {
-      DependenceSet deps = analyze_dependences(layout, {opts.pad, 8});
       std::cout << "doall loops:";
       for (const std::string& v : parallel_loops(layout, deps))
         std::cout << " " << v;
       std::cout << "\nparallel direction basis:\n";
       for (const IntVec& r : parallel_row_basis(layout, deps))
         std::cout << "  " << vec_to_string(r) << "\n";
+      dump_stats(opts);
       return 0;
     }
 
     usage();
+  } catch (const DiagnosedTransformError& e) {
+    if (opts.diag_json) {
+      DiagnosticEngine render;
+      for (const Diagnostic& d : e.diagnostics()) render.report(d);
+      std::cout << render.to_json() << "\n";
+    } else {
+      std::cerr << "inltc: " << e.what() << "\n";
+    }
+    dump_stats(opts);
+    return 1;
   } catch (const Error& e) {
     std::cerr << "inltc: " << e.what() << "\n";
+    dump_stats(opts);
     return 1;
   }
 }
