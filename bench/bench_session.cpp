@@ -21,6 +21,7 @@
 
 #include "ir/gallery.hpp"
 #include "pipeline/session.hpp"
+#include "support/stats.hpp"
 #include "transform/transforms.hpp"
 
 namespace {
@@ -64,6 +65,7 @@ void BM_SessionWarm(benchmark::State& state) {
   // Prime the cache once so every timed batch is fully warm.
   for (const IntMat& m : cands) session.evaluate(m);
   int legal = 0;
+  StatsSnapshot before = Stats::global().snapshot();
   for (auto _ : state) {
     for (const IntMat& m : cands) {
       CandidateResult r = session.evaluate(m);
@@ -71,8 +73,15 @@ void BM_SessionWarm(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(legal);
   }
+  StatsSnapshot delta = Stats::global().snapshot() - before;
   state.counters["cache_entries"] =
       static_cast<double>(session.projection_cache().size());
+  // Fully warm batches must not miss: every projection is a cache hit.
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(delta.counter("fm.cache_hits")),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["cache_misses"] =
+      static_cast<double>(delta.counter("fm.cache_misses"));
 }
 BENCHMARK(BM_SessionWarm)->Unit(benchmark::kMillisecond);
 

@@ -23,10 +23,35 @@ std::string DependenceSet::to_string() const {
   return os.str();
 }
 
+namespace {
+
+// Dedup key for analyzed dependences: the identifying fields compared
+// directly — no per-dependence string rendering on the analysis path
+// (dep_to_string alone dominated dedup cost on wide layouts).
+struct DepKey {
+  std::string src, dst, array;
+  DepKind kind;
+  DepVector vector;
+
+  explicit DepKey(const Dependence& d)
+      : src(d.src), dst(d.dst), array(d.array), kind(d.kind),
+        vector(d.vector) {}
+
+  friend bool operator<(const DepKey& a, const DepKey& b) {
+    if (int c = a.src.compare(b.src)) return c < 0;
+    if (int c = a.dst.compare(b.dst)) return c < 0;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (int c = a.array.compare(b.array)) return c < 0;
+    return a.vector < b.vector;  // lexicographic over DepEntry
+  }
+};
+
+}  // namespace
+
 DependenceSet analyze_dependences(const IvLayout& layout,
                                   const AnalyzerOptions& opts) {
   DependenceSet result;
-  std::set<std::string> seen;
+  std::set<DepKey> seen;
   for (const PairSystem& ps : build_pair_systems(layout)) {
     DepVector vec;
     vec.reserve(layout.size());
@@ -44,10 +69,7 @@ DependenceSet analyze_dependences(const IvLayout& layout,
     dep.kind = ps.kind;
     dep.array = ps.array;
     dep.vector = std::move(vec);
-    std::string key = dep.src + "|" + dep.dst + "|" +
-                      dep_kind_name(dep.kind) + "|" + dep.array + "|" +
-                      dep_to_string(dep.vector);
-    if (seen.insert(key).second) result.deps.push_back(std::move(dep));
+    if (seen.emplace(dep).second) result.deps.push_back(std::move(dep));
   }
   return result;
 }

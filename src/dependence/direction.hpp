@@ -54,6 +54,17 @@ class DepEntry {
 
   friend bool operator==(const DepEntry&, const DepEntry&) = default;
 
+  /// Arbitrary-but-strict ordering so DepEntry (and DepVector) can key
+  /// ordered containers — the analyzer's dedup set. Well-defined
+  /// because the representation is canonical: unbounded ends always
+  /// store 0.
+  friend bool operator<(const DepEntry& a, const DepEntry& b) {
+    if (a.lo_inf_ != b.lo_inf_) return a.lo_inf_ < b.lo_inf_;
+    if (a.hi_inf_ != b.hi_inf_) return a.hi_inf_ < b.hi_inf_;
+    if (a.lo_ != b.lo_) return a.lo_ < b.lo_;
+    return a.hi_ < b.hi_;
+  }
+
   /// "3", "+", "-", "*", "0+", "0-", or "[a,b]".
   std::string to_string() const;
 

@@ -9,6 +9,32 @@ namespace inlt {
 ConstraintSystem::ConstraintSystem(std::vector<std::string> var_names)
     : vars_(std::move(var_names)) {}
 
+void ConstraintSystem::reset(const std::vector<std::string>& var_names) {
+  vars_ = var_names;
+  eqs_.clear();
+  ineqs_.clear();
+}
+
+i64 vec_dot(const CoefVec& a, const IntVec& b) {
+  INLT_CHECK(a.size() == b.size());
+  i64 acc = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    acc = checked_add(acc, checked_mul(a[i], b[i]));
+  return acc;
+}
+
+i64 vec_gcd(const CoefVec& v) {
+  i64 g = 0;
+  for (i64 x : v) g = gcd(g, x);
+  return g;
+}
+
+bool vec_is_zero(const CoefVec& v) {
+  for (i64 x : v)
+    if (x != 0) return false;
+  return true;
+}
+
 int ConstraintSystem::var(const std::string& name) const {
   int i = find_var(name);
   INLT_CHECK_MSG(i >= 0, "unknown constraint variable: " + name);

@@ -11,25 +11,48 @@
 #include <vector>
 
 #include "linalg/vec.hpp"
+#include "support/small_vec.hpp"
 
 namespace inlt {
 
+/// Coefficient vector of one constraint. Dependence and codegen
+/// systems have at most a dozen-odd variables, so the inline capacity
+/// keeps the Fourier–Motzkin hot path off the heap; wider systems
+/// (equality elimination adds $sigma variables) spill transparently.
+using CoefVec = SmallVec<i64, 16>;
+
+/// Elementwise helpers mirroring the IntVec ones in vec.hpp.
+i64 vec_dot(const CoefVec& a, const IntVec& b);
+i64 vec_gcd(const CoefVec& v);
+bool vec_is_zero(const CoefVec& v);
+
 /// coef · x + constant, over the owning system's variables.
 struct LinExpr {
-  IntVec coef;
+  CoefVec coef;
   i64 constant = 0;
 
   LinExpr() = default;
-  LinExpr(IntVec c, i64 k) : coef(std::move(c)), constant(k) {}
+  LinExpr(CoefVec c, i64 k) : coef(std::move(c)), constant(k) {}
+  LinExpr(const IntVec& c, i64 k) : constant(k) {
+    coef.resize(c.size());
+    for (size_t i = 0; i < c.size(); ++i) coef[i] = c[i];
+  }
 
   /// True if no variable has a nonzero coefficient.
   bool is_constant() const { return vec_is_zero(coef); }
+
+  friend bool operator==(const LinExpr&, const LinExpr&) = default;
 };
 
 class ConstraintSystem {
  public:
   ConstraintSystem() = default;
   explicit ConstraintSystem(std::vector<std::string> var_names);
+
+  /// Re-initialize as an empty system over `var_names`, reusing the
+  /// constraint buffers already owned by this object (the scratch-pool
+  /// recycling hook of the Fourier–Motzkin hot path).
+  void reset(const std::vector<std::string>& var_names);
 
   int num_vars() const { return static_cast<int>(vars_.size()); }
   const std::vector<std::string>& var_names() const { return vars_; }
@@ -62,7 +85,7 @@ class ConstraintSystem {
 
   /// Zero-valued expression sized to this system (fill in coefficients
   /// then pass to add_eq/add_ge).
-  LinExpr zero_expr() const { return LinExpr(IntVec(vars_.size(), 0), 0); }
+  LinExpr zero_expr() const { return LinExpr(CoefVec(vars_.size(), 0), 0); }
 
   const std::vector<LinExpr>& equalities() const { return eqs_; }
   const std::vector<LinExpr>& inequalities() const { return ineqs_; }
@@ -72,6 +95,11 @@ class ConstraintSystem {
 
   /// Human-readable rendering for diagnostics.
   std::string to_string() const;
+
+  /// Structural equality (variables and constraints, in order) — the
+  /// full-key verification behind the hashed ProjectionCache.
+  friend bool operator==(const ConstraintSystem&,
+                         const ConstraintSystem&) = default;
 
  private:
   std::vector<std::string> vars_;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <map>
-#include <sstream>
 
 #include "support/check.hpp"
 #include "support/stats.hpp"
@@ -39,6 +37,43 @@ std::atomic<i64>& stat_cache_hits() {
 std::atomic<i64>& stat_cache_misses() {
   static std::atomic<i64>& c = Stats::global().counter("fm.cache_misses");
   return c;
+}
+std::atomic<i64>& stat_cache_collisions() {
+  static std::atomic<i64>& c =
+      Stats::global().counter("fm.cache_key_collisions");
+  return c;
+}
+std::atomic<i64>& stat_pool_reuse() {
+  static std::atomic<i64>& c = Stats::global().counter("fm.scratch_reuse");
+  return c;
+}
+
+// Per-thread pool of ConstraintSystem shells: shadow() and the
+// elimination chain create and discard one system per step, and the
+// recycled objects keep their constraint-vector capacity, so steady-
+// state elimination performs no outer-vector allocations.
+class SystemPool {
+ public:
+  ConstraintSystem acquire(const std::vector<std::string>& var_names) {
+    if (pool_.empty()) return ConstraintSystem(var_names);
+    ConstraintSystem cs = std::move(pool_.back());
+    pool_.pop_back();
+    cs.reset(var_names);
+    stat_pool_reuse().fetch_add(1, std::memory_order_relaxed);
+    return cs;
+  }
+  void release(ConstraintSystem&& cs) {
+    if (pool_.size() < kMaxPooled) pool_.push_back(std::move(cs));
+  }
+
+ private:
+  static constexpr size_t kMaxPooled = 32;
+  std::vector<ConstraintSystem> pool_;
+};
+
+SystemPool& tls_pool() {
+  thread_local SystemPool pool;
+  return pool;
 }
 
 // Recursion guard: dependence systems are tiny; anything deeper than
@@ -129,40 +164,46 @@ bool eliminate_equalities(ConstraintSystem& cs) {
   return normalize_system(cs);
 }
 
-struct Partition {
-  std::vector<LinExpr> lower;  // coef[j] > 0
-  std::vector<LinExpr> upper;  // coef[j] < 0
-  std::vector<LinExpr> rest;   // coef[j] == 0
+// Index-based partition of the inequalities on variable j — no
+// constraint copies; the caller indexes back into cs.inequalities().
+struct PartitionIdx {
+  std::vector<int> lower;  // coef[j] > 0
+  std::vector<int> upper;  // coef[j] < 0
 };
 
-Partition partition_on(const ConstraintSystem& cs, int j) {
-  Partition p;
-  for (const LinExpr& e : cs.inequalities()) {
-    if (e.coef[j] > 0)
-      p.lower.push_back(e);
-    else if (e.coef[j] < 0)
-      p.upper.push_back(e);
-    else
-      p.rest.push_back(e);
+void partition_indices(const ConstraintSystem& cs, int j, PartitionIdx& p) {
+  p.lower.clear();
+  p.upper.clear();
+  const auto& ineqs = cs.inequalities();
+  for (size_t i = 0; i < ineqs.size(); ++i) {
+    i64 c = ineqs[i].coef[j];
+    if (c > 0)
+      p.lower.push_back(static_cast<int>(i));
+    else if (c < 0)
+      p.upper.push_back(static_cast<int>(i));
   }
-  return p;
 }
 
 // Shadow of eliminating variable j. dark=false gives the real shadow,
 // dark=true subtracts (a-1)(b-1) from each combined constant.
 ConstraintSystem shadow(const ConstraintSystem& cs, int j, bool dark) {
   stat_eliminations().fetch_add(1, std::memory_order_relaxed);
-  Partition p = partition_on(cs, j);
-  ConstraintSystem out(cs.var_names());
+  thread_local PartitionIdx part;
+  partition_indices(cs, j, part);
+  const auto& ineqs = cs.inequalities();
+  ConstraintSystem out = tls_pool().acquire(cs.var_names());
   for (const LinExpr& e : cs.equalities()) {
     INLT_CHECK_MSG(e.coef[j] == 0,
                    "shadow: equalities must not mention the variable");
     out.add_eq(e);
   }
-  for (LinExpr& e : p.rest) out.add_ge(std::move(e));
-  for (const LinExpr& l : p.lower) {
+  for (const LinExpr& e : ineqs)
+    if (e.coef[j] == 0) out.add_ge(e);
+  for (int li : part.lower) {
+    const LinExpr& l = ineqs[li];
     i64 a = l.coef[j];
-    for (const LinExpr& u : p.upper) {
+    for (int ui : part.upper) {
+      const LinExpr& u = ineqs[ui];
       i64 b = checked_neg(u.coef[j]);
       // a*beta + b*alpha >= (dark ? (a-1)(b-1) : 0), with alpha/beta the
       // j-free parts of l and u.
@@ -183,32 +224,57 @@ ConstraintSystem shadow(const ConstraintSystem& cs, int j, bool dark) {
   return out;
 }
 
-// Is eliminating j exact (real shadow == integer projection)? True when
-// every lower-bound coefficient is 1 or every upper-bound coefficient
-// is 1, or one side is empty.
-bool elimination_exact(const Partition& p, int j) {
-  bool lower_unit = true, upper_unit = true;
-  for (const LinExpr& l : p.lower)
-    if (l.coef[j] != 1) lower_unit = false;
-  for (const LinExpr& u : p.upper)
-    if (u.coef[j] != -1) upper_unit = false;
-  return p.lower.empty() || p.upper.empty() || lower_unit || upper_unit;
-}
+// Per-variable elimination statistics, gathered for every variable in
+// one pass over the inequalities (the old code re-partitioned — with
+// full constraint copies — once per variable).
+struct VarStat {
+  long lower = 0;
+  long upper = 0;
+  bool lower_unit = true;
+  bool upper_unit = true;
+
+  // Is eliminating this variable exact (real shadow == integer
+  // projection)? True when every lower-bound coefficient is 1 or every
+  // upper-bound coefficient is 1, or one side is empty.
+  bool exact() const {
+    return lower == 0 || upper == 0 || lower_unit || upper_unit;
+  }
+  long cost() const { return lower * upper; }
+};
 
 bool feasible_rec(ConstraintSystem cs, int depth) {
   if (depth > kMaxDepth) throw Error("omega: recursion depth exceeded");
-  if (!eliminate_equalities(cs)) return false;
+  if (!eliminate_equalities(cs)) {
+    tls_pool().release(std::move(cs));
+    return false;
+  }
 
   for (;;) {
-    if (!normalize_system(cs)) return false;
-    // Find a variable that still appears.
+    if (!normalize_system(cs)) {
+      tls_pool().release(std::move(cs));
+      return false;
+    }
+    // Gather every variable's bound counts in a single pass.
     int nvars = cs.num_vars();
-    std::vector<bool> appears(nvars, false);
+    std::vector<VarStat> stats(nvars);
     bool any = false;
     for (const LinExpr& e : cs.inequalities())
-      for (int i = 0; i < nvars; ++i)
-        if (e.coef[i] != 0) appears[i] = true, any = true;
-    if (!any) return true;  // only constant constraints, all satisfied
+      for (int i = 0; i < nvars; ++i) {
+        i64 c = e.coef[i];
+        if (c == 0) continue;
+        any = true;
+        if (c > 0) {
+          ++stats[i].lower;
+          if (c != 1) stats[i].lower_unit = false;
+        } else {
+          ++stats[i].upper;
+          if (c != -1) stats[i].upper_unit = false;
+        }
+      }
+    if (!any) {
+      tls_pool().release(std::move(cs));
+      return true;  // only constant constraints, all satisfied
+    }
 
     // Prefer a variable whose elimination is exact; otherwise minimize
     // the number of shadow constraints generated.
@@ -216,11 +282,9 @@ bool feasible_rec(ConstraintSystem cs, int depth) {
     long best_cost = 0;
     bool best_exact = false;
     for (int i = 0; i < nvars; ++i) {
-      if (!appears[i]) continue;
-      Partition p = partition_on(cs, i);
-      bool exact = elimination_exact(p, i);
-      long cost = static_cast<long>(p.lower.size()) *
-                  static_cast<long>(p.upper.size());
+      if (stats[i].lower + stats[i].upper == 0) continue;
+      bool exact = stats[i].exact();
+      long cost = stats[i].cost();
       if (best < 0 || (exact && !best_exact) ||
           (exact == best_exact && cost < best_cost)) {
         best = i;
@@ -230,7 +294,9 @@ bool feasible_rec(ConstraintSystem cs, int depth) {
     }
 
     if (best_exact) {
-      cs = shadow(cs, best, /*dark=*/false);
+      ConstraintSystem next = shadow(cs, best, /*dark=*/false);
+      tls_pool().release(std::move(cs));
+      cs = std::move(next);
       continue;
     }
 
@@ -238,30 +304,40 @@ bool feasible_rec(ConstraintSystem cs, int depth) {
     ConstraintSystem dark = shadow(cs, best, /*dark=*/true);
     if (feasible_rec(std::move(dark), depth + 1)) return true;
     ConstraintSystem real = shadow(cs, best, /*dark=*/false);
-    if (!feasible_rec(std::move(real), depth + 1)) return false;
+    if (!feasible_rec(std::move(real), depth + 1)) {
+      tls_pool().release(std::move(cs));
+      return false;
+    }
 
     // Real shadow feasible, dark infeasible: any integer solution is
     // pinned near a lower bound. For each lower bound a*x_j + alpha >= 0
     // try the equalities a*x_j + alpha == i, 0 <= i <= (a*bmax-a-bmax)/bmax.
-    Partition p = partition_on(cs, best);
+    thread_local PartitionIdx part;
+    partition_indices(cs, best, part);
     i64 bmax = 0;
-    for (const LinExpr& u : p.upper)
-      bmax = std::max(bmax, checked_neg(u.coef[best]));
+    for (int ui : part.upper)
+      bmax = std::max(bmax, checked_neg(cs.inequalities()[ui].coef[best]));
     INLT_CHECK(bmax >= 1);
-    for (const LinExpr& l : p.lower) {
+    // The index lists must survive the recursive calls below, which
+    // reuse the thread-local scratch: copy out the lower list.
+    std::vector<int> lower = part.lower;
+    for (int li : lower) {
+      const LinExpr& l = cs.inequalities()[li];
       i64 a = l.coef[best];
       i64 hi = floor_div(checked_sub(checked_mul(a, bmax),
                                      checked_add(a, bmax)),
                          bmax);
       for (i64 i = 0; i <= hi; ++i) {
         stat_splinters().fetch_add(1, std::memory_order_relaxed);
-        ConstraintSystem sp = cs;
+        ConstraintSystem sp = tls_pool().acquire(cs.var_names());
+        sp = cs;
         LinExpr eq = l;
         eq.constant = checked_sub(eq.constant, i);
         sp.add_eq(std::move(eq));
         if (feasible_rec(std::move(sp), depth + 1)) return true;
       }
     }
+    tls_pool().release(std::move(cs));
     return false;
   }
 }
@@ -269,57 +345,85 @@ bool feasible_rec(ConstraintSystem cs, int depth) {
 }  // namespace
 
 bool normalize_system(ConstraintSystem& cs) {
-  // Equalities: GCD test + reduction.
-  std::vector<LinExpr> eqs;
-  for (LinExpr e : cs.equalities()) {
+  // Equalities: GCD test + reduction, compacted in place.
+  auto& eqs = cs.mutable_equalities();
+  size_t w = 0;
+  for (size_t r = 0; r < eqs.size(); ++r) {
+    LinExpr& e = eqs[r];
     i64 g = vec_gcd(e.coef);
     if (g == 0) {
       if (e.constant != 0) return false;
       continue;  // 0 == 0
     }
     if (floor_mod(e.constant, g) != 0) return false;  // GCD test
-    e.coef = vec_div_exact(e.coef, g);
-    e.constant /= g;
-    eqs.push_back(std::move(e));
+    if (g != 1) {
+      for (i64& c : e.coef) c /= g;
+      e.constant /= g;
+    }
+    if (w != r) eqs[w] = std::move(e);
+    ++w;
   }
-  cs.mutable_equalities() = std::move(eqs);
+  eqs.resize(w);
 
-  // Inequalities: tighten constants, keep the strongest per direction.
-  std::map<IntVec, i64> tightest;  // coef -> min constant
-  for (const LinExpr& e0 : cs.inequalities()) {
-    LinExpr e = e0;
+  // Inequalities: tighten constants in place, then sort by coefficient
+  // vector and keep the strongest (minimum constant) per direction —
+  // the same canonical order the old std::map produced, without the
+  // per-constraint node allocations.
+  auto& ineqs = cs.mutable_inequalities();
+  w = 0;
+  for (size_t r = 0; r < ineqs.size(); ++r) {
+    LinExpr& e = ineqs[r];
     i64 g = vec_gcd(e.coef);
     if (g == 0) {
       if (e.constant < 0) return false;  // 0 >= positive
       continue;                          // tautology
     }
-    e.coef = vec_div_exact(e.coef, g);
-    e.constant = floor_div(e.constant, g);
-    // g > 1 with a non-divisible constant means the floor division
-    // strictly tightened the constraint (the integer GCD cut).
-    if (g > 1 && e0.constant != checked_mul(e.constant, g))
-      stat_tightened().fetch_add(1, std::memory_order_relaxed);
-    auto [it, inserted] = tightest.emplace(e.coef, e.constant);
-    if (!inserted) it->second = std::min(it->second, e.constant);
+    i64 c0 = e.constant;
+    if (g != 1) {
+      for (i64& c : e.coef) c /= g;
+      e.constant = floor_div(c0, g);
+      // A non-divisible constant means the floor division strictly
+      // tightened the constraint (the integer GCD cut).
+      if (c0 != checked_mul(e.constant, g))
+        stat_tightened().fetch_add(1, std::memory_order_relaxed);
+    }
+    if (w != r) ineqs[w] = std::move(e);
+    ++w;
   }
-  std::vector<LinExpr> ineqs;
-  ineqs.reserve(tightest.size());
-  for (auto& [coef, c] : tightest) {
-    // Contradicting pair coef·x + c1 >= 0 and -coef·x + c2 >= 0 with
-    // c1 + c2 < 0 means the interval is empty.
-    IntVec neg(coef.size());
-    for (size_t i = 0; i < coef.size(); ++i) neg[i] = -coef[i];
-    auto opp = tightest.find(neg);
-    if (opp != tightest.end() && checked_add(c, opp->second) < 0)
+  ineqs.resize(w);
+  std::sort(ineqs.begin(), ineqs.end(), [](const LinExpr& a, const LinExpr& b) {
+    if (a.coef < b.coef) return true;
+    if (b.coef < a.coef) return false;
+    return a.constant < b.constant;
+  });
+  w = 0;
+  for (size_t r = 0; r < ineqs.size(); ++r) {
+    if (w > 0 && ineqs[w - 1].coef == ineqs[r].coef) continue;  // weaker dup
+    if (w != r) ineqs[w] = std::move(ineqs[r]);
+    ++w;
+  }
+  ineqs.resize(w);
+
+  // Contradicting pair coef·x + c1 >= 0 and -coef·x + c2 >= 0 with
+  // c1 + c2 < 0 means the interval is empty.
+  CoefVec neg;
+  for (const LinExpr& e : ineqs) {
+    neg.resize(e.coef.size());
+    for (size_t i = 0; i < e.coef.size(); ++i) neg[i] = -e.coef[i];
+    auto it = std::lower_bound(
+        ineqs.begin(), ineqs.end(), neg,
+        [](const LinExpr& a, const CoefVec& key) { return a.coef < key; });
+    if (it != ineqs.end() && it->coef == neg &&
+        checked_add(e.constant, it->constant) < 0)
       return false;
-    ineqs.emplace_back(coef, c);
   }
-  cs.mutable_inequalities() = std::move(ineqs);
   return true;
 }
 
 bool integer_feasible(const ConstraintSystem& cs) {
-  return feasible_rec(cs, 0);
+  ConstraintSystem work = tls_pool().acquire(cs.var_names());
+  work = cs;
+  return feasible_rec(std::move(work), 0);
 }
 
 namespace {
@@ -329,7 +433,7 @@ ConstraintSystem eliminate_var_real_uncached(const ConstraintSystem& cs,
   INLT_CHECK(var_idx >= 0 && var_idx < cs.num_vars());
   // Equalities mentioning the variable: substitute if a unit
   // coefficient exists, otherwise demote to a pair of inequalities.
-  ConstraintSystem work(cs.var_names());
+  ConstraintSystem work = tls_pool().acquire(cs.var_names());
   std::vector<LinExpr> pending_eqs;
   LinExpr subst;
   i64 subst_sign = 0;
@@ -368,6 +472,7 @@ ConstraintSystem eliminate_var_real_uncached(const ConstraintSystem& cs,
   }
   for (LinExpr& f : pending_ineqs) work.add_ge(std::move(f));
   ConstraintSystem out = shadow(work, var_idx, /*dark=*/false);
+  tls_pool().release(std::move(work));
   normalize_system(out);  // infeasibility shows up as 0 >= k<0 constraints
   return out;
 }
@@ -377,55 +482,77 @@ ConstraintSystem eliminate_var_real_uncached(const ConstraintSystem& cs,
 ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx) {
   ProjectionCache* cache = tl_projection_cache;
   if (!cache) return eliminate_var_real_uncached(cs, var_idx);
-  std::string key = ProjectionCache::key_of(cs, var_idx);
-  if (std::optional<ConstraintSystem> hit = cache->find(key)) {
+  if (std::optional<ConstraintSystem> hit = cache->find(cs, var_idx)) {
     stat_cache_hits().fetch_add(1, std::memory_order_relaxed);
     return *std::move(hit);
   }
   stat_cache_misses().fetch_add(1, std::memory_order_relaxed);
   ConstraintSystem out = eliminate_var_real_uncached(cs, var_idx);
-  cache->insert(key, out);
+  cache->insert(cs, var_idx, out);
   return out;
 }
 
-std::string ProjectionCache::key_of(const ConstraintSystem& cs, int var_idx) {
-  std::ostringstream os;
-  os << var_idx << ";";
-  for (const std::string& v : cs.var_names()) os << v << ",";
-  auto emit = [&os](const std::vector<LinExpr>& es, char tag) {
-    os << ";" << tag;
+std::uint64_t ProjectionCache::hash_key(const ConstraintSystem& cs,
+                                        int var_idx) {
+  // FNV-1a, streamed over the normalized encoding of the key: the
+  // eliminated index, the variable names, and every constraint's
+  // coefficients and constant, with tags separating the sections.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(var_idx));
+  mix(cs.var_names().size());
+  for (const std::string& v : cs.var_names()) {
+    mix(v.size());
+    for (char c : v) mix(static_cast<unsigned char>(c));
+  }
+  auto mix_exprs = [&](const std::vector<LinExpr>& es, std::uint64_t tag) {
+    mix(tag);
+    mix(es.size());
     for (const LinExpr& e : es) {
-      for (i64 c : e.coef) os << c << " ";
-      os << "=" << e.constant << "|";
+      for (i64 c : e.coef) mix(static_cast<std::uint64_t>(c));
+      mix(static_cast<std::uint64_t>(e.constant));
     }
   };
-  emit(cs.equalities(), 'e');
-  emit(cs.inequalities(), 'i');
-  return os.str();
+  mix_exprs(cs.equalities(), 'e');
+  mix_exprs(cs.inequalities(), 'i');
+  return h;
 }
 
 std::optional<ConstraintSystem> ProjectionCache::find(
-    const std::string& key) const {
+    const ConstraintSystem& cs, int var_idx) const {
+  std::uint64_t h = hash_(cs, var_idx);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
-  return it->second;
+  auto it = buckets_.find(h);
+  if (it == buckets_.end()) return std::nullopt;
+  for (const Entry& e : it->second)
+    if (e.var_idx == var_idx && e.key == cs) return e.value;
+  stat_cache_collisions().fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
-void ProjectionCache::insert(const std::string& key,
+void ProjectionCache::insert(const ConstraintSystem& cs, int var_idx,
                              const ConstraintSystem& value) {
+  std::uint64_t h = hash_(cs, var_idx);
   std::lock_guard<std::mutex> lock(mu_);
-  map_.emplace(key, value);
+  std::vector<Entry>& bucket = buckets_[h];
+  for (const Entry& e : bucket)
+    if (e.var_idx == var_idx && e.key == cs) return;  // lost a race
+  bucket.push_back(Entry{cs, var_idx, value});
+  ++size_;
 }
 
 size_t ProjectionCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  return size_;
 }
 
 void ProjectionCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
+  buckets_.clear();
+  size_ = 0;
 }
 
 ProjectionCache* set_projection_cache(ProjectionCache* cache) {
@@ -442,8 +569,12 @@ ConstraintSystem project_onto(const ConstraintSystem& cs,
     keep_mask[k] = true;
   }
   ConstraintSystem work = cs;
-  for (int i = 0; i < cs.num_vars(); ++i)
-    if (!keep_mask[i]) work = eliminate_var_real(work, i);
+  for (int i = 0; i < cs.num_vars(); ++i) {
+    if (keep_mask[i]) continue;
+    ConstraintSystem next = eliminate_var_real(work, i);
+    tls_pool().release(std::move(work));
+    work = std::move(next);
+  }
 
   // Re-index onto the kept variables in the requested order.
   std::vector<std::string> names;

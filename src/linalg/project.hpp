@@ -10,9 +10,9 @@
 // the right tool.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,25 +20,47 @@
 
 namespace inlt {
 
-/// Memo table for `eliminate_var_real`, keyed by a canonical
-/// serialization of (constraint system, eliminated variable). The
-/// stored value is exactly what the uncached computation produced, so
-/// a hit is bit-identical to a recomputation. Thread-safe; shared by
-/// the worker threads of TransformSession::evaluate_all.
+/// Memo table for `eliminate_var_real`, keyed by a 64-bit hash of the
+/// normalized encoding of (constraint system, eliminated variable).
+/// Every hit verifies the full key (structural equality of the stored
+/// system) before being served, so hash collisions can never leak a
+/// wrong projection — the stored value is exactly what the uncached
+/// computation produced, and a hit is bit-identical to a
+/// recomputation. Thread-safe; shared by the worker threads of
+/// TransformSession::evaluate_all.
 class ProjectionCache {
  public:
-  /// Canonical key: var names, equalities, inequalities, var index.
-  static std::string key_of(const ConstraintSystem& cs, int var_idx);
+  using Hasher = std::uint64_t (*)(const ConstraintSystem&, int);
 
-  std::optional<ConstraintSystem> find(const std::string& key) const;
-  void insert(const std::string& key, const ConstraintSystem& value);
+  ProjectionCache() = default;
+  /// Test seam: substitute a (possibly degenerate) hash function. All
+  /// lookups still verify the full key, so results stay exact even
+  /// under a constant hash.
+  explicit ProjectionCache(Hasher hasher) : hash_(hasher) {}
+
+  /// 64-bit FNV-1a over var names, equalities, inequalities and the
+  /// eliminated variable's index — no string serialization.
+  static std::uint64_t hash_key(const ConstraintSystem& cs, int var_idx);
+
+  std::optional<ConstraintSystem> find(const ConstraintSystem& cs,
+                                       int var_idx) const;
+  void insert(const ConstraintSystem& cs, int var_idx,
+              const ConstraintSystem& value);
 
   size_t size() const;
   void clear();
 
  private:
+  struct Entry {
+    ConstraintSystem key;
+    int var_idx;
+    ConstraintSystem value;
+  };
   mutable std::mutex mu_;
-  std::unordered_map<std::string, ConstraintSystem> map_;
+  // Hash -> entries sharing it (verified by full-key comparison).
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  size_t size_ = 0;
+  Hasher hash_ = &hash_key;
 };
 
 /// Install `cache` as the elimination memo for the current thread;

@@ -1,0 +1,202 @@
+#include "pipeline/search.hpp"
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "transform/exact_legality.hpp"
+#include "transform/incremental.hpp"
+
+namespace inlt {
+
+PermutationSkewGenerator::PermutationSkewGenerator(const IvLayout& layout,
+                                                   SearchSpace space)
+    : layout_(layout),
+      space_(space),
+      slots_(layout.all_loop_positions()),
+      used_(slots_.size(), 0) {
+  INLT_CHECK_MSG(space_.skew_bound >= 0, "negative skew bound");
+  INLT_CHECK_MSG(space_.skew_depth >= 0, "negative skew depth");
+}
+
+int PermutationSkewGenerator::num_slots() const {
+  return static_cast<int>(slots_.size());
+}
+
+int PermutationSkewGenerator::skew_window(int depth) const {
+  return std::min(depth, space_.skew_depth);
+}
+
+i64 PermutationSkewGenerator::num_options(int depth) const {
+  i64 n = static_cast<i64>(slots_.size()) - depth;  // unplaced variables
+  i64 base = 2 * space_.skew_bound + 1;
+  for (int w = skew_window(depth); w > 0; --w) n = checked_mul(n, base);
+  return n;
+}
+
+int PermutationSkewGenerator::unused_at(i64 var_choice) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (used_[i]) continue;
+    if (var_choice-- == 0) return static_cast<int>(i);
+  }
+  INLT_CHECK_MSG(false, "option index out of range");
+  return -1;
+}
+
+IntVec PermutationSkewGenerator::row(i64 k) const {
+  int depth = static_cast<int>(chosen_.size());
+  int window = skew_window(depth);
+  i64 base = 2 * space_.skew_bound + 1;
+  i64 nskew = 1;
+  for (int w = 0; w < window; ++w) nskew *= base;
+  INLT_CHECK(k >= 0 && k < num_options(depth));
+  i64 var_choice = k / nskew;
+  i64 combo = k % nskew;
+
+  IntVec r(layout_.size(), 0);
+  r[slots_[unused_at(var_choice)]] = 1;
+  // Skew coefficients for the window of most recently placed
+  // variables, earliest slot's digit most significant.
+  for (int w = 0; w < window; ++w) {
+    nskew /= base;
+    i64 c = combo / nskew - space_.skew_bound;
+    combo %= nskew;
+    int s = depth - window + w;  // slot whose variable we skew against
+    r[slots_[chosen_[s]]] += c;
+  }
+  return r;
+}
+
+void PermutationSkewGenerator::push(i64 k) {
+  int window = skew_window(static_cast<int>(chosen_.size()));
+  i64 base = 2 * space_.skew_bound + 1;
+  i64 nskew = 1;
+  for (int w = 0; w < window; ++w) nskew *= base;
+  int slot = unused_at(k / nskew);
+  used_[slot] = 1;
+  chosen_.push_back(slot);
+}
+
+void PermutationSkewGenerator::pop() {
+  INLT_CHECK(!chosen_.empty());
+  used_[chosen_.back()] = 0;
+  chosen_.pop_back();
+}
+
+std::vector<IntMat> materialize_candidates(const IvLayout& layout,
+                                           CandidateGenerator& gen) {
+  std::vector<IntMat> out;
+  IntMat m = IntMat::identity(layout.size());
+  std::vector<int> slots = layout.all_loop_positions();
+  INLT_CHECK(static_cast<int>(slots.size()) == gen.num_slots());
+
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == gen.num_slots()) {
+      out.push_back(m);
+      return;
+    }
+    for (i64 k = 0; k < gen.num_options(depth); ++k) {
+      IntVec r = gen.row(k);
+      for (int j = 0; j < layout.size(); ++j) m(slots[depth], j) = r[j];
+      gen.push(k);
+      rec(depth + 1);
+      gen.pop();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+SearchResult TransformSession::search(
+    CandidateGenerator& gen, const std::function<void(const SearchHit&)>& sink,
+    SearchMode mode) {
+  const int nslots = gen.num_slots();
+  INLT_CHECK_MSG(nslots == static_cast<int>(layout_->all_loop_positions().size()),
+                 "generator slot count does not match the layout");
+  // Hull prefixes cannot prune exact-mode candidates: the ILP test
+  // accepts matrices the hull rejects, so in exact mode the engine is
+  // bypassed and every candidate is evaluated.
+  const bool prune = !opts_.exact;
+  if (prune && !engine_)
+    engine_ = std::make_unique<IncrementalLegality>(*layout_, deps_);
+
+  SearchResult out;
+  // Exact subtree sizes per depth (prefix-independent by the
+  // generator contract) — what index arithmetic under pruning uses.
+  std::vector<i64> leaves_below(nslots + 1, 1);
+  for (int d = nslots; d-- > 0;)
+    leaves_below[d] = checked_mul(leaves_below[d + 1], gen.num_options(d));
+  out.stats.candidates_total = leaves_below[0];
+
+  IntMat m = IntMat::identity(layout_->size());
+  const std::vector<int>& slots = layout_->all_loop_positions();
+  i64 index = 0;
+
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == nslots) {
+      if (prune && !engine_->current_legal()) {
+        ++out.stats.pruned_candidates;
+        ++index;
+        return;
+      }
+      ++out.stats.evaluated;
+      CandidateResult r;
+      if (mode == SearchMode::kLegalityOnly) {
+        if (prune) {
+          // The engine's full-depth verdict IS the hull legality test
+          // (test_incremental proves the equivalence) — no pipeline
+          // work left to do for a verdict-only hit.
+          r.legal = true;
+          r.legality.unsatisfied = engine_->current_unsatisfied();
+        } else {
+          // Exact mode: decide legality by the ILP test, skipping
+          // plan/build/simplify.
+          ScopedProjectionCache install(&cache_);
+          AstRecovery rec = recover_ast(*layout_, m);
+          r.legal =
+              check_legality_exact(*layout_, m, rec, opts_.codegen.pad).legal();
+        }
+      } else {
+        r = evaluate_impl(m);
+      }
+      if (r.legal) {
+        ++out.stats.legal;
+        out.hits.push_back(SearchHit{index, m, std::move(r)});
+        if (sink) sink(out.hits.back());
+      } else {
+        ++out.stats.illegal_evaluated;
+      }
+      ++index;
+      return;
+    }
+    for (i64 k = 0; k < gen.num_options(depth); ++k) {
+      IntVec r = gen.row(k);
+      for (int j = 0; j < layout_->size(); ++j) m(slots[depth], j) = r[j];
+      gen.push(k);
+      bool viable = true;
+      if (prune) viable = engine_->push_row(r);
+      if (!viable) {
+        ++out.stats.pruned_subtrees;
+        out.stats.pruned_candidates += leaves_below[depth + 1];
+        index += leaves_below[depth + 1];
+      } else {
+        rec(depth + 1);
+      }
+      if (prune) engine_->pop_row();
+      gen.pop();
+    }
+  };
+  rec(0);
+
+  Stats::global().add("search.candidates", out.stats.candidates_total);
+  Stats::global().add("search.evaluated", out.stats.evaluated);
+  Stats::global().add("search.pruned", out.stats.pruned_candidates);
+  return out;
+}
+
+SearchResult TransformSession::search(
+    const SearchSpace& space,
+    const std::function<void(const SearchHit&)>& sink, SearchMode mode) {
+  PermutationSkewGenerator gen(*layout_, space);
+  return search(gen, sink, mode);
+}
+
+}  // namespace inlt

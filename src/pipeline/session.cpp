@@ -5,17 +5,21 @@
 
 #include "codegen/simplify.hpp"
 #include "ir/parser.hpp"
+#include "transform/incremental.hpp"
 
 namespace inlt {
 
 namespace {
 
-int resolve_threads(int requested, size_t work_items) {
+int resolve_threads(int requested, int ceiling, size_t work_items) {
   int n = requested;
   if (n <= 0) {
+    // Default to the machine's parallelism; `max_threads` is the
+    // session's opt-in ceiling (0 = none). An explicit request is
+    // honored as-is.
     unsigned hw = std::thread::hardware_concurrency();
     n = hw == 0 ? 1 : static_cast<int>(hw);
-    n = std::min(n, 8);
+    if (ceiling > 0) n = std::min(n, ceiling);
   }
   return std::max(1, std::min(n, static_cast<int>(work_items)));
 }
@@ -34,6 +38,9 @@ TransformSession::TransformSession(Program program, SessionOptions opts)
   ScopedTimer t("session.analyze");
   deps_ = analyze_dependences(*layout_, opts_.analyzer);
 }
+
+// Out of line: IncrementalLegality is incomplete in the header.
+TransformSession::~TransformSession() = default;
 
 CandidateResult TransformSession::evaluate_impl(const IntMat& m) {
   Stats::global().add("session.evaluations");
@@ -82,7 +89,8 @@ std::vector<CandidateResult> TransformSession::evaluate_all(
     const std::vector<IntMat>& candidates) {
   std::vector<CandidateResult> out(candidates.size());
   if (candidates.empty()) return out;
-  int nthreads = resolve_threads(opts_.threads, candidates.size());
+  int nthreads =
+      resolve_threads(opts_.threads, opts_.max_threads, candidates.size());
   if (nthreads == 1) {
     for (size_t i = 0; i < candidates.size(); ++i)
       out[i] = evaluate_impl(candidates[i]);

@@ -24,6 +24,7 @@
 // checks, per-stage codegen time) accumulates on Stats::global().
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -37,6 +38,12 @@
 
 namespace inlt {
 
+class CandidateGenerator;
+class IncrementalLegality;
+struct SearchHit;
+struct SearchResult;
+struct SearchSpace;
+
 struct SessionOptions {
   AnalyzerOptions analyzer;
   CodegenOptions codegen;
@@ -45,9 +52,31 @@ struct SessionOptions {
   bool exact = false;
   /// Run the simplification pass on generated programs.
   bool simplify = true;
-  /// Worker threads for evaluate_all; 0 = hardware concurrency
-  /// (capped at 8), 1 = sequential.
+  /// Worker threads for evaluate_all; 0 = use hardware concurrency,
+  /// 1 = sequential, n > 1 = exactly n workers.
   int threads = 0;
+  /// Ceiling applied when `threads` is resolved from hardware
+  /// concurrency (0 = no ceiling). Explicit `threads` requests are
+  /// never capped.
+  int max_threads = 0;
+};
+
+/// How much work search() invests per surviving candidate.
+///
+///  * kFull — run the complete pipeline (codegen + simplify) on every
+///    candidate the engine cannot reject; each hit's result is
+///    bit-identical to `evaluate()` on the same matrix.
+///  * kLegalityOnly — stop at the legality verdict: hits carry the
+///    legal flag and the unsatisfied-dependence indices but no
+///    generated program. This is the high-throughput filter mode —
+///    decide a whole space, then `evaluate()` only the chosen
+///    winners. Verdicts (hit indices, legal flags, unsatisfied sets)
+///    are identical to kFull wherever the full pipeline would not
+///    fail *after* the legality stage (codegen errors surface only
+///    when code is actually generated).
+enum class SearchMode {
+  kFull,
+  kLegalityOnly,
 };
 
 /// Outcome of evaluating one candidate matrix.
@@ -72,6 +101,7 @@ class TransformSession {
                                       SessionOptions opts = {});
 
   explicit TransformSession(Program program, SessionOptions opts = {});
+  ~TransformSession();
 
   const Program& program() const { return *program_; }
   const IvLayout& layout() const { return *layout_; }
@@ -89,6 +119,27 @@ class TransformSession {
   /// uncached ones).
   std::vector<CandidateResult> evaluate_all(
       const std::vector<IntMat>& candidates);
+
+  /// Walk a candidate space depth-first through the incremental
+  /// legality engine: prefixes whose partial transformed dependences
+  /// are already lexicographically negative prune their whole subtree;
+  /// surviving candidates are evaluated exactly like `evaluate()` (the
+  /// reported results are bit-identical and index-aligned with the
+  /// enumeration order — see search.hpp). `sink`, when set, receives
+  /// each legal candidate as it is found. In exact mode the hull
+  /// engine cannot prune (the ILP test accepts more matrices), so
+  /// every candidate is evaluated.
+  ///
+  /// The engine's memo trie lives on the session: repeated searches —
+  /// and overlapping spaces — reuse each other's per-prefix work.
+  /// Not safe to call concurrently on one session.
+  SearchResult search(CandidateGenerator& gen,
+                      const std::function<void(const SearchHit&)>& sink = {},
+                      SearchMode mode = SearchMode::kFull);
+  /// Convenience: permutation × bounded-skew space over this layout.
+  SearchResult search(const SearchSpace& space,
+                      const std::function<void(const SearchHit&)>& sink = {},
+                      SearchMode mode = SearchMode::kFull);
 
   /// All diagnostics reported by evaluations so far.
   DiagnosticEngine& diags() { return diags_; }
@@ -109,6 +160,8 @@ class TransformSession {
   std::unique_ptr<IvLayout> layout_;
   DependenceSet deps_;
   ProjectionCache cache_;
+  // Created lazily by the first search(); owns the prefix memo trie.
+  std::unique_ptr<IncrementalLegality> engine_;
   std::mutex diag_mu_;  // evaluate_all workers report concurrently
   DiagnosticEngine diags_;
 };

@@ -1,0 +1,149 @@
+// Inline-buffer vector for hot-path coefficient storage.
+//
+// Fourier–Motzkin elimination churns through millions of short integer
+// coefficient vectors (one per constraint, one entry per variable of
+// the system). std::vector puts every one of them on the heap;
+// SmallVec keeps vectors of up to N elements inline in the owning
+// object and only spills to the heap beyond that. The API is the
+// subset of std::vector the constraint code uses, with identical
+// semantics (including lexicographic ordering and equality).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace inlt {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::size_t n, const T& value) { assign(n, value); }
+  explicit SmallVec(std::size_t n) { assign(n, T()); }
+  SmallVec(std::initializer_list<T> init) { assign_range(init.begin(), init.size()); }
+
+  SmallVec(const SmallVec& other) { assign_range(other.data(), other.size_); }
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+
+  ~SmallVec() {
+    if (is_heap()) delete[] heap_;
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign_range(other.data(), other.size_);
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      if (is_heap()) delete[] heap_;
+      steal(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign_range(init.begin(), init.size());
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* data() { return is_heap() ? heap_ : inline_; }
+  const T* data() const { return is_heap() ? heap_ : inline_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+  const_iterator cbegin() const { return begin(); }
+  const_iterator cend() const { return end(); }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted <= cap_) return;
+    std::size_t cap = std::max(wanted, cap_ * 2);
+    T* fresh = new T[cap];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    if (is_heap()) delete[] heap_;
+    heap_ = fresh;
+    cap_ = cap;
+  }
+
+  void resize(std::size_t n, const T& value = T()) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data()[i] = value;
+    size_ = n;
+  }
+
+  void push_back(const T& value) {
+    reserve(size_ + 1);
+    data()[size_++] = value;
+  }
+
+  void assign(std::size_t n, const T& value) {
+    reserve(n);
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) data()[i] = value;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  /// Lexicographic, matching std::vector's ordering.
+  friend bool operator<(const SmallVec& a, const SmallVec& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  bool is_heap() const { return cap_ > N; }
+
+  void assign_range(const T* src, std::size_t n) {
+    reserve(n);
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  // Take other's contents; other is left empty (inline, size 0).
+  void steal(SmallVec& other) {
+    if (other.is_heap()) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      cap_ = N;
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+      other.size_ = 0;
+    }
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace inlt

@@ -61,6 +61,39 @@ i64 Stats::time_ns(const std::string& name) const {
                              : it->second->ns.load(std::memory_order_relaxed);
 }
 
+i64 StatsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& base) const {
+  StatsSnapshot d = *this;
+  for (auto& [name, v] : d.counters) {
+    auto it = base.counters.find(name);
+    if (it != base.counters.end()) v -= it->second;
+  }
+  for (auto& [name, t] : d.timers) {
+    auto it = base.timers.find(name);
+    if (it != base.timers.end()) {
+      t.ns -= it->second.ns;
+      t.count -= it->second.count;
+    }
+  }
+  return d;
+}
+
+StatsSnapshot Stats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot s;
+  for (const auto& [name, c] : counters_)
+    s.counters[name] = c->load(std::memory_order_relaxed);
+  for (const auto& [name, t] : timers_)
+    s.timers[name] = StatsSnapshot::TimerValue{
+        t->ns.load(std::memory_order_relaxed),
+        t->count.load(std::memory_order_relaxed)};
+  return s;
+}
+
 void Stats::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->store(0, std::memory_order_relaxed);

@@ -22,6 +22,25 @@
 
 namespace inlt {
 
+/// Point-in-time copy of every counter and timer. Subtracting two
+/// snapshots gives the deltas accumulated between them — how the
+/// benchmarks attribute global counters to one measured phase.
+struct StatsSnapshot {
+  struct TimerValue {
+    i64 ns = 0;
+    i64 count = 0;
+  };
+  std::map<std::string, i64> counters;
+  std::map<std::string, TimerValue> timers;
+
+  /// Value of a counter in this snapshot (0 if absent).
+  i64 counter(const std::string& name) const;
+
+  /// Per-key difference (this - base); keys absent from `base` count
+  /// from zero.
+  StatsSnapshot operator-(const StatsSnapshot& base) const;
+};
+
 class Stats {
  public:
   /// The process-wide registry.
@@ -45,6 +64,9 @@ class Stats {
 
   /// Zero every counter and timer (references stay valid).
   void reset();
+
+  /// Copy every current counter and timer value.
+  StatsSnapshot snapshot() const;
 
   /// Aligned "name  value" lines: counters first, then timers (as
   /// milliseconds with invocation counts). Zero entries included.

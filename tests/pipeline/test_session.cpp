@@ -54,16 +54,45 @@ TEST(ProjectionCacheTest, HitIsBitIdenticalToUncached) {
   EXPECT_EQ(second.to_string(), uncached.to_string());
 }
 
-TEST(ProjectionCacheTest, KeyDistinguishesVariableAndSystem) {
+TEST(ProjectionCacheTest, HashDistinguishesVariableAndSystem) {
   ConstraintSystem cs = sample_system();
-  std::string kj = ProjectionCache::key_of(cs, cs.var("j"));
-  std::string ki = ProjectionCache::key_of(cs, cs.var("i"));
+  std::uint64_t kj = ProjectionCache::hash_key(cs, cs.var("j"));
+  std::uint64_t ki = ProjectionCache::hash_key(cs, cs.var("i"));
   EXPECT_NE(kj, ki);
   ConstraintSystem cs2 = sample_system();
   cs2.add_var_le(cs2.var("j"), 100);
-  EXPECT_NE(ProjectionCache::key_of(cs2, cs2.var("j")), kj);
-  // Same system, same variable -> same key.
-  EXPECT_EQ(ProjectionCache::key_of(sample_system(), cs.var("j")), kj);
+  EXPECT_NE(ProjectionCache::hash_key(cs2, cs2.var("j")), kj);
+  // Same system, same variable -> same hash (deterministic).
+  EXPECT_EQ(ProjectionCache::hash_key(sample_system(), cs.var("j")), kj);
+}
+
+TEST(ProjectionCacheTest, ForcedCollisionsStillServeExactResults) {
+  // Degenerate hash: every key lands in one bucket, so every lookup
+  // exercises the full-key verification path. Results must stay
+  // bit-identical to the uncached computation for *both* colliding
+  // keys, and a find() for one key must never serve the other's value.
+  ConstraintSystem cs = sample_system();
+  ConstraintSystem ref_j = eliminate_var_real(cs, cs.var("j"));
+  ConstraintSystem ref_i = eliminate_var_real(cs, cs.var("i"));
+
+  ProjectionCache cache(
+      +[](const ConstraintSystem&, int) -> std::uint64_t { return 42; });
+  ScopedProjectionCache scope(&cache);
+
+  ConstraintSystem first_j = eliminate_var_real(cs, cs.var("j"));
+  ConstraintSystem first_i = eliminate_var_real(cs, cs.var("i"));
+  EXPECT_EQ(cache.size(), 2u);  // both live in the same bucket
+
+  i64 hits0 = Stats::global().value("fm.cache_hits");
+  ConstraintSystem warm_j = eliminate_var_real(cs, cs.var("j"));
+  ConstraintSystem warm_i = eliminate_var_real(cs, cs.var("i"));
+  EXPECT_GE(Stats::global().value("fm.cache_hits"), hits0 + 2);
+
+  EXPECT_EQ(first_j.to_string(), ref_j.to_string());
+  EXPECT_EQ(warm_j.to_string(), ref_j.to_string());
+  EXPECT_EQ(first_i.to_string(), ref_i.to_string());
+  EXPECT_EQ(warm_i.to_string(), ref_i.to_string());
+  EXPECT_NE(ref_j.to_string(), ref_i.to_string());  // the test has teeth
 }
 
 TEST(ProjectionCacheTest, InstallIsPerThreadAndRestored) {

@@ -81,6 +81,35 @@ TEST(Stats, JsonDumpShape) {
   EXPECT_NE(j.find("\"count\":1"), std::string::npos) << j;
 }
 
+TEST(Stats, SnapshotDeltaIsolatesOnePhase) {
+  Stats s;
+  s.add("phase.counter", 10);
+  s.add_time_ns("phase.timer", 1000);
+  StatsSnapshot before = s.snapshot();
+  EXPECT_EQ(before.counter("phase.counter"), 10);
+  EXPECT_EQ(before.counter("never.touched"), 0);
+
+  s.add("phase.counter", 7);
+  s.add("phase.fresh", 3);  // key born after the base snapshot
+  s.add_time_ns("phase.timer", 500);
+
+  StatsSnapshot delta = s.snapshot() - before;
+  EXPECT_EQ(delta.counter("phase.counter"), 7);
+  EXPECT_EQ(delta.counter("phase.fresh"), 3);
+  EXPECT_EQ(delta.counter("never.touched"), 0);
+  EXPECT_EQ(delta.timers.at("phase.timer").ns, 500);
+  EXPECT_EQ(delta.timers.at("phase.timer").count, 1);
+}
+
+TEST(Stats, SnapshotUnaffectedByLaterMutation) {
+  Stats s;
+  s.add("snap.k", 1);
+  StatsSnapshot snap = s.snapshot();
+  s.add("snap.k", 100);
+  s.reset();
+  EXPECT_EQ(snap.counter("snap.k"), 1);  // a copy, not a view
+}
+
 TEST(Stats, ScopedTimerRecordsIntoGlobal) {
   const std::string name = "test.scoped_timer_probe";
   i64 before_ns = Stats::global().time_ns(name);

@@ -8,6 +8,9 @@
 //   inltc complete  <file> [loop names...]     §6 completion from partial
 //                                              unit rows (outermost first)
 //   inltc parallel  <file>                     §7 parallel directions
+//   inltc search    <file>                     sweep permutations × skews
+//                                              through the pruning search
+//                                              driver, list legal candidates
 //
 // Transformation ops (composed left to right):
 //   interchange A B | skew T S k | reverse V | scale V k
@@ -19,6 +22,11 @@
 //        --pad-zero   zero padding instead of diagonal (ablation)
 //        --stats      dump pipeline counters and timers to stderr
 //        --diag-json  print structured diagnostics as JSON on stdout
+//        --threads N  evaluate_all worker threads (0 = hardware)
+//        --search     alias for the search command
+//        search only: --skew-bound B | --skew-depth D | --full
+//        (--full generates and prints each legal candidate's program;
+//         the default stops at legality verdicts)
 //
 // All commands run through a TransformSession: the program is parsed
 // and analyzed once, candidate matrices are evaluated against the
@@ -33,6 +41,7 @@
 #include "exec/trace.hpp"
 #include "exec/verify.hpp"
 #include "ir/printer.hpp"
+#include "pipeline/search.hpp"
 #include "pipeline/session.hpp"
 #include "transform/completion.hpp"
 #include "transform/parallel.hpp"
@@ -50,9 +59,12 @@ commands:
   transform <file> <ops...>        apply ops, check legality, generate code
   complete  <file> [loops...]      complete a partial transformation (§6)
   parallel  <file>                 parallel directions (§7)
+  search    <file>                 sweep permutations x skews, list legal ones
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
 flags: --verify N | --raw | --exact | --pad-zero | --stats | --diag-json
+       --threads N | --search
+search flags: --skew-bound B | --skew-depth D | --full
 )";
   std::exit(2);
 }
@@ -80,6 +92,11 @@ struct Options {
   bool stats = false;
   bool diag_json = false;
   PadMode pad = PadMode::kDiagonal;
+  int threads = 0;        // SessionOptions::threads (0 = hardware)
+  bool search_flag = false;  // --search: alias for the search command
+  i64 skew_bound = 0;     // search space: skew coefficient bound
+  int skew_depth = 1;     // search space: skewable window depth
+  bool full = false;      // search: generate code for every hit
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -100,6 +117,19 @@ Options parse_flags(int argc, char** argv, int first) {
       o.stats = true;
     } else if (a == "--diag-json") {
       o.diag_json = true;
+    } else if (a == "--threads") {
+      if (++i >= argc) usage();
+      o.threads = std::stoi(argv[i]);
+    } else if (a == "--search") {
+      o.search_flag = true;
+    } else if (a == "--skew-bound") {
+      if (++i >= argc) usage();
+      o.skew_bound = std::stoll(argv[i]);
+    } else if (a == "--skew-depth") {
+      if (++i >= argc) usage();
+      o.skew_depth = std::stoi(argv[i]);
+    } else if (a == "--full") {
+      o.full = true;
     } else {
       o.args.push_back(a);
     }
@@ -206,8 +236,15 @@ int run_candidate(TransformSession& session, const IntMat& m,
 int main(int argc, char** argv) {
   if (argc < 3) usage();
   std::string cmd = argv[1];
-  Options opts = parse_flags(argc, argv, 2);
-  if (opts.args.empty()) usage();
+  int first = 2;
+  if (cmd.rfind("--", 0) == 0) {
+    // Flags before any command: `inltc --search <file>` style.
+    cmd.clear();
+    first = 1;
+  }
+  Options opts = parse_flags(argc, argv, first);
+  if (opts.search_flag) cmd = "search";
+  if (cmd.empty() || opts.args.empty()) usage();
   std::string path = opts.args[0];
 
   try {
@@ -216,6 +253,7 @@ int main(int argc, char** argv) {
     sopts.codegen = {opts.pad};
     sopts.exact = opts.exact;
     sopts.simplify = !opts.raw;
+    sopts.threads = opts.threads;
     TransformSession session =
         TransformSession::from_source(read_source(path), sopts);
     const IvLayout& layout = session.layout();
@@ -250,6 +288,33 @@ int main(int argc, char** argv) {
       std::cerr << "completed matrix:\n" << mat_to_string(res.matrix)
                 << "\n";
       return run_candidate(session, res.matrix, opts);
+    }
+
+    if (cmd == "search") {
+      SearchSpace space{opts.skew_bound, opts.skew_depth};
+      SearchMode mode =
+          opts.full ? SearchMode::kFull : SearchMode::kLegalityOnly;
+      SearchResult res = session.search(space, {}, mode);
+      std::cout << "search space: " << res.stats.candidates_total
+                << " candidates (skew bound " << opts.skew_bound << ", depth "
+                << opts.skew_depth << ")\n"
+                << "legal: " << res.stats.legal
+                << "  evaluated: " << res.stats.evaluated
+                << "  pruned: " << res.stats.pruned_candidates << " ("
+                << res.stats.pruned_subtrees << " subtrees)\n";
+      for (const SearchHit& h : res.hits) {
+        std::cout << "\nlegal candidate #" << h.index << ":\n"
+                  << mat_to_string(h.matrix);
+        if (!h.result.legality.unsatisfied.empty()) {
+          std::cout << "unsatisfied self-dependences:";
+          for (int d : h.result.legality.unsatisfied) std::cout << " " << d;
+          std::cout << "\n";
+        }
+        if (opts.full && h.result.program)
+          std::cout << print_program(*h.result.program);
+      }
+      dump_stats(opts);
+      return 0;
     }
 
     if (cmd == "parallel") {
