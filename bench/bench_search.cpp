@@ -31,6 +31,7 @@
 #include "ir/gallery.hpp"
 #include "pipeline/search.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 #include "transform/transforms.hpp"
 
 namespace {
@@ -157,10 +158,13 @@ void emit_phase(std::ostream& os, const char* name, const Phase& ph) {
 int main(int argc, char** argv) {
   double budget_s = 0.3;
   std::string out_path = "BENCH_search.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-out="));
     } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
       // google-benchmark syntax: "<n>x" (iterations) or "<t>s".
       double v = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
@@ -168,6 +172,7 @@ int main(int argc, char** argv) {
     }
     // Other --benchmark_* flags: accepted, ignored.
   }
+  if (!trace_path.empty()) Tracer::global().enable();
 
   const std::vector<Sweep> sweeps = {
       {"cholesky_orders", &gallery::cholesky, SearchSpace{0, 0}},
@@ -222,5 +227,11 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << js.str();
   std::printf("wrote %s\n", out_path.c_str());
+  if (!trace_path.empty()) {
+    std::ofstream tout(trace_path);
+    tout << Tracer::global().chrome_trace_json() << "\n";
+    std::printf("wrote %s (%lld trace events)\n", trace_path.c_str(),
+                static_cast<long long>(Tracer::global().event_count()));
+  }
   return 0;
 }

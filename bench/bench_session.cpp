@@ -18,10 +18,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "ir/gallery.hpp"
 #include "pipeline/session.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 #include "transform/transforms.hpp"
 
 namespace {
@@ -145,4 +149,33 @@ BENCHMARK(BM_SessionLuSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a --trace-out=FILE flag: when given, span
+// tracing is enabled for the whole run and the merged Chrome trace is
+// written on exit (the flag is stripped before google-benchmark sees
+// the argument list).
+int main(int argc, char** argv) {
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_path = argv[i] + 12;
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+  if (!trace_path.empty()) inlt::Tracer::global().enable();
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << inlt::Tracer::global().chrome_trace_json() << "\n";
+    std::fprintf(stderr, "wrote %s (%lld trace events)\n", trace_path.c_str(),
+                 static_cast<long long>(
+                     inlt::Tracer::global().event_count()));
+  }
+  return 0;
+}

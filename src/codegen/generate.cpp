@@ -10,6 +10,7 @@
 #include "support/check.hpp"
 #include "support/diag.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace inlt {
 
@@ -428,6 +429,7 @@ Program build_program(const IvLayout& src, const AstRecovery& rec,
 
 CodegenResult generate_code(const IvLayout& src, const DependenceSet& deps,
                             const IntMat& m, const CodegenOptions& opts) {
+  ScopedSpan span("codegen.generate", "codegen");
   AstRecovery rec = [&] {
     ScopedTimer t("codegen.recover_ast");
     return recover_ast(src, m);
@@ -453,6 +455,7 @@ CodegenResult generate_code(const IvLayout& src, const DependenceSet& deps,
 
 ExactCodegenResult generate_code_exact(const IvLayout& src, const IntMat& m,
                                        const CodegenOptions& opts) {
+  ScopedSpan span("codegen.generate_exact", "codegen");
   AstRecovery rec = [&] {
     ScopedTimer t("codegen.recover_ast");
     return recover_ast(src, m);

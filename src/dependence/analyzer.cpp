@@ -5,6 +5,7 @@
 
 #include "dependence/system.hpp"
 #include "support/check.hpp"
+#include "support/trace.hpp"
 
 namespace inlt {
 
@@ -53,6 +54,13 @@ DependenceSet analyze_dependences(const IvLayout& layout,
   DependenceSet result;
   std::set<DepKey> seen;
   for (const PairSystem& ps : build_pair_systems(layout)) {
+    ScopedSpan span("dep.pair", "dependence");
+    if (span.active()) {
+      span.arg("src", ps.src);
+      span.arg("dst", ps.dst);
+      span.arg("array", ps.array);
+      span.arg("kind", dep_kind_name(ps.kind));
+    }
     DepVector vec;
     vec.reserve(layout.size());
     for (int q = 0; q < layout.size(); ++q) {

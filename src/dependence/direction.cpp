@@ -58,15 +58,17 @@ std::string DepEntry::to_string() const {
   return "[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
 }
 
-LexStatus lex_status(const DepVector& v) {
+LexStatus lex_status_at(const DepVector& v, int* decided_at) {
   // Walk leading entries. A non-negative entry splits into two cases
   // (zero: the rest decides; positive: done), so the vector is
   // lexicographically positive when the rest is — a sound refinement
   // that matters for dependences whose carrying level is an inner one.
+  if (decided_at) *decided_at = -1;
   bool saw_non_neg = false;
   for (size_t i = 0; i < v.size(); ++i) {
     const DepEntry& e = v[i];
     if (e.is_zero()) continue;
+    if (decided_at) *decided_at = static_cast<int>(i);
     if (e.definitely_positive()) return LexStatus::kPositive;
     if (e.definitely_negative())
       return saw_non_neg ? LexStatus::kUnknown : LexStatus::kNegative;
@@ -76,7 +78,23 @@ LexStatus lex_status(const DepVector& v) {
     }
     return LexStatus::kUnknown;
   }
+  // Ran off the end without a verdict entry: the status is a property
+  // of the whole (zero / possibly-zero) vector, not one position.
+  if (decided_at) *decided_at = -1;
   return saw_non_neg ? LexStatus::kNonNegative : LexStatus::kZero;
+}
+
+LexStatus lex_status(const DepVector& v) { return lex_status_at(v, nullptr); }
+
+const char* lex_status_name(LexStatus s) {
+  switch (s) {
+    case LexStatus::kZero: return "zero";
+    case LexStatus::kPositive: return "positive";
+    case LexStatus::kNonNegative: return "non-negative";
+    case LexStatus::kNegative: return "negative";
+    case LexStatus::kUnknown: return "unknown";
+  }
+  return "unknown";
 }
 
 DepVector transform_dep(const IntMat& m, const DepVector& d) {

@@ -92,6 +92,16 @@ enum class LexStatus {
 
 LexStatus lex_status(const DepVector& v);
 
+/// lex_status, additionally reporting the index of the entry that
+/// decided the verdict through `decided_at` (may be null): the
+/// definitely-positive entry for kPositive, the entry that broke the
+/// walk for kNegative/kUnknown, -1 when the status is a property of
+/// the whole vector (kZero, kNonNegative).
+LexStatus lex_status_at(const DepVector& v, int* decided_at);
+
+/// "positive", "zero", "non-negative", "negative", "unknown".
+const char* lex_status_name(LexStatus s);
+
 /// M * d with interval entries.
 DepVector transform_dep(const IntMat& m, const DepVector& d);
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/trace.hpp"
+
 namespace inlt {
 
 std::string VerifyResult::to_string() const {
@@ -17,6 +19,7 @@ VerifyResult verify_equivalence(const Program& source,
                                 const std::map<std::string, i64>& params,
                                 FillKind fill, unsigned seed,
                                 double tolerance) {
+  ScopedSpan span("exec.verify", "exec");
   Memory mem;
   declare_arrays(source, params, mem);
   // The transformed program may touch cells the source sizing missed
@@ -35,6 +38,10 @@ VerifyResult verify_equivalence(const Program& source,
   r.max_diff = mem.max_abs_diff(mem2);
   r.equivalent =
       r.max_diff <= tolerance && r.src_instances == r.dst_instances;
+  if (span.active()) {
+    span.arg("equivalent", r.equivalent);
+    span.arg("instances", r.src_instances);
+  }
   return r;
 }
 

@@ -5,6 +5,7 @@
 
 #include "support/check.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace inlt {
 
@@ -46,6 +47,12 @@ std::atomic<i64>& stat_cache_collisions() {
 std::atomic<i64>& stat_pool_reuse() {
   static std::atomic<i64>& c = Stats::global().counter("fm.scratch_reuse");
   return c;
+}
+// Sizes (constraint counts) of the systems fed to the eliminator,
+// log2-bucketed — the shape of the FM workload at a glance.
+HistogramCell& hist_system_size() {
+  static HistogramCell& h = Stats::global().histogram("fm.system_size");
+  return h;
 }
 
 // Per-thread pool of ConstraintSystem shells: shadow() and the
@@ -480,13 +487,26 @@ ConstraintSystem eliminate_var_real_uncached(const ConstraintSystem& cs,
 }  // namespace
 
 ConstraintSystem eliminate_var_real(const ConstraintSystem& cs, int var_idx) {
+  hist_system_size().record(
+      static_cast<i64>(cs.equalities().size() + cs.inequalities().size()));
+  ScopedSpan span("fm.eliminate", "fm");
+  if (span.active()) {
+    span.arg("vars", static_cast<i64>(cs.num_vars()));
+    span.arg("eqs", static_cast<i64>(cs.equalities().size()));
+    span.arg("ineqs", static_cast<i64>(cs.inequalities().size()));
+  }
   ProjectionCache* cache = tl_projection_cache;
-  if (!cache) return eliminate_var_real_uncached(cs, var_idx);
+  if (!cache) {
+    if (span.active()) span.arg("cache", "off");
+    return eliminate_var_real_uncached(cs, var_idx);
+  }
   if (std::optional<ConstraintSystem> hit = cache->find(cs, var_idx)) {
     stat_cache_hits().fetch_add(1, std::memory_order_relaxed);
+    if (span.active()) span.arg("cache", "hit");
     return *std::move(hit);
   }
   stat_cache_misses().fetch_add(1, std::memory_order_relaxed);
+  if (span.active()) span.arg("cache", "miss");
   ConstraintSystem out = eliminate_var_real_uncached(cs, var_idx);
   cache->insert(cs, var_idx, out);
   return out;

@@ -1,11 +1,36 @@
 #include "pipeline/search.hpp"
 
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+#include "dependence/direction.hpp"
 #include "support/check.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 #include "transform/exact_legality.hpp"
 #include "transform/incremental.hpp"
 
 namespace inlt {
+
+std::string RejectionBreakdown::to_text(const DependenceSet& deps) const {
+  std::ostringstream os;
+  os << "rejected candidates: " << rejected << "\n";
+  os << "  by dependence:\n";
+  for (size_t d = 0; d < by_dependence.size(); ++d) {
+    if (by_dependence[d] == 0) continue;
+    const Dependence& dep = deps.deps[d];
+    os << "    [" << d << "] " << dep_kind_name(dep.kind) << " " << dep.src
+       << " -> " << dep.dst << " " << dep_to_string(dep.vector) << ": "
+       << by_dependence[d] << "\n";
+  }
+  os << "  by row:\n";
+  for (size_t r = 0; r + 1 < by_row.size(); ++r)
+    if (by_row[r] != 0) os << "    row " << r << ": " << by_row[r] << "\n";
+  if (!by_row.empty() && by_row.back() != 0)
+    os << "    completion: " << by_row.back() << "\n";
+  return os.str();
+}
 
 PermutationSkewGenerator::PermutationSkewGenerator(const IvLayout& layout,
                                                    SearchSpace space)
@@ -105,12 +130,13 @@ std::vector<IntMat> materialize_candidates(const IvLayout& layout,
   return out;
 }
 
-SearchResult TransformSession::search(
-    CandidateGenerator& gen, const std::function<void(const SearchHit&)>& sink,
-    SearchMode mode) {
+SearchResult TransformSession::search(CandidateGenerator& gen,
+                                      const SearchOptions& sopts) {
   const int nslots = gen.num_slots();
   INLT_CHECK_MSG(nslots == static_cast<int>(layout_->all_loop_positions().size()),
                  "generator slot count does not match the layout");
+  INLT_CHECK_MSG(sopts.progress_interval > 0,
+                 "progress_interval must be positive");
   // Hull prefixes cannot prune exact-mode candidates: the ILP test
   // accepts matrices the hull rejects, so in exact mode the engine is
   // bypassed and every candidate is evaluated.
@@ -118,7 +144,12 @@ SearchResult TransformSession::search(
   if (prune && !engine_)
     engine_ = std::make_unique<IncrementalLegality>(*layout_, deps_);
 
+  ScopedSpan run_span("search.run", "search");
+  const auto t0 = std::chrono::steady_clock::now();
+
   SearchResult out;
+  out.rejections.by_dependence.assign(deps_.deps.size(), 0);
+  out.rejections.by_row.assign(static_cast<size_t>(nslots) + 1, 0);
   // Exact subtree sizes per depth (prefix-independent by the
   // generator contract) — what index arithmetic under pruning uses.
   std::vector<i64> leaves_below(nslots + 1, 1);
@@ -128,18 +159,64 @@ SearchResult TransformSession::search(
 
   IntMat m = IntMat::identity(layout_->size());
   const std::vector<int>& slots = layout_->all_loop_positions();
+  // Layout position -> slot index, for converting a legality
+  // diagnostic's deciding row into a by_row bucket.
+  std::vector<int> pos_to_slot(layout_->size(), -1);
+  for (int s = 0; s < nslots; ++s) pos_to_slot[slots[s]] = s;
+
+  // Rejection provenance: n candidates killed by dependence `dep`,
+  // decided at slot `row` (nslots == decided only at completion).
+  auto attribute = [&](int dep, int row, i64 n) {
+    if (dep >= 0 && dep < static_cast<int>(out.rejections.by_dependence.size()))
+      out.rejections.by_dependence[dep] += n;
+    if (row < 0 || row > nslots) row = nslots;
+    out.rejections.by_row[row] += n;
+    out.rejections.rejected += n;
+  };
+
+  // Per-candidate decision time is recorded only in full mode: the
+  // legality-only filter decides millions of candidates per second and
+  // even two clock reads per leaf would dominate it.
+  HistogramCell* cand_hist =
+      sopts.mode == SearchMode::kFull
+          ? &Stats::global().histogram("search.candidate_ns")
+          : nullptr;
+
   i64 index = 0;
+  i64 next_report = sopts.progress ? sopts.progress_interval
+                                   : std::numeric_limits<i64>::max();
+  auto emit_progress = [&](i64 done) {
+    SearchProgress p;
+    p.done = done;
+    p.total = out.stats.candidates_total;
+    p.legal = out.stats.legal;
+    p.pruned = out.stats.pruned_candidates;
+    p.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    p.rate = p.elapsed_s > 0 ? static_cast<double>(done) / p.elapsed_s : 0;
+    p.prune_rate = done > 0 ? static_cast<double>(p.pruned) / done : 0;
+    p.eta_s = p.rate > 0 ? static_cast<double>(p.total - done) / p.rate : 0;
+    sopts.progress(p);
+  };
 
   std::function<void(int)> rec = [&](int depth) {
     if (depth == nslots) {
       if (prune && !engine_->current_legal()) {
+        // Viable prefix, illegal completion: the zero projection of
+        // leaf_killer() is what rejected it.
         ++out.stats.pruned_candidates;
+        attribute(engine_->leaf_killer(), nslots, 1);
         ++index;
+        if (index >= next_report) {
+          emit_progress(index);
+          next_report = index + sopts.progress_interval;
+        }
         return;
       }
       ++out.stats.evaluated;
       CandidateResult r;
-      if (mode == SearchMode::kLegalityOnly) {
+      if (sopts.mode == SearchMode::kLegalityOnly) {
         if (prune) {
           // The engine's full-depth verdict IS the hull legality test
           // (test_incremental proves the equivalence) — no pipeline
@@ -155,16 +232,39 @@ SearchResult TransformSession::search(
               check_legality_exact(*layout_, m, rec, opts_.codegen.pad).legal();
         }
       } else {
+        ScopedSpan cs("search.candidate", "search");
+        const auto c0 = std::chrono::steady_clock::now();
         r = evaluate_impl(m);
+        cand_hist->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - c0)
+                              .count());
+        if (cs.active()) {
+          cs.arg("index", index);
+          cs.arg("legal", r.legal);
+        }
       }
       if (r.legal) {
         ++out.stats.legal;
         out.hits.push_back(SearchHit{index, m, std::move(r)});
-        if (sink) sink(out.hits.back());
+        if (sopts.sink) sopts.sink(out.hits.back());
       } else {
         ++out.stats.illegal_evaluated;
+        // Attribute through the first localized legality diagnostic
+        // (codegen-stage failures carry no dependence provenance).
+        for (const Diagnostic& dg : r.legality.diagnostics) {
+          if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
+          int slot = dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot.size())
+                         ? pos_to_slot[dg.row]
+                         : -1;
+          attribute(dg.dep_index, slot < 0 ? nslots : slot, 1);
+          break;
+        }
       }
       ++index;
+      if (index >= next_report) {
+        emit_progress(index);
+        next_report = index + sopts.progress_interval;
+      }
       return;
     }
     for (i64 k = 0; k < gen.num_options(depth); ++k) {
@@ -175,8 +275,20 @@ SearchResult TransformSession::search(
       if (prune) viable = engine_->push_row(r);
       if (!viable) {
         ++out.stats.pruned_subtrees;
-        out.stats.pruned_candidates += leaves_below[depth + 1];
-        index += leaves_below[depth + 1];
+        i64 n = leaves_below[depth + 1];
+        out.stats.pruned_candidates += n;
+        attribute(engine_->killer(), engine_->killer_row(), n);
+        if (Tracer::enabled()) {
+          ScopedSpan ps("search.prune", "search");
+          ps.arg("depth", static_cast<i64>(depth));
+          ps.arg("dep", static_cast<i64>(engine_->killer()));
+          ps.arg("pruned", n);
+        }
+        index += n;
+        if (index >= next_report) {
+          emit_progress(index);
+          next_report = index + sopts.progress_interval;
+        }
       } else {
         rec(depth + 1);
       }
@@ -186,10 +298,34 @@ SearchResult TransformSession::search(
   };
   rec(0);
 
+  // Final report: done == total, so consumers can close their display.
+  if (sopts.progress) emit_progress(index);
+
+  if (run_span.active()) {
+    run_span.arg("total", out.stats.candidates_total);
+    run_span.arg("evaluated", out.stats.evaluated);
+    run_span.arg("legal", out.stats.legal);
+    run_span.arg("pruned", out.stats.pruned_candidates);
+  }
   Stats::global().add("search.candidates", out.stats.candidates_total);
   Stats::global().add("search.evaluated", out.stats.evaluated);
   Stats::global().add("search.pruned", out.stats.pruned_candidates);
   return out;
+}
+
+SearchResult TransformSession::search(
+    CandidateGenerator& gen, const std::function<void(const SearchHit&)>& sink,
+    SearchMode mode) {
+  SearchOptions sopts;
+  sopts.mode = mode;
+  sopts.sink = sink;
+  return search(gen, sopts);
+}
+
+SearchResult TransformSession::search(const SearchSpace& space,
+                                      const SearchOptions& sopts) {
+  PermutationSkewGenerator gen(*layout_, space);
+  return search(gen, sopts);
 }
 
 SearchResult TransformSession::search(

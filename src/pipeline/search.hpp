@@ -83,6 +83,44 @@ class PermutationSkewGenerator : public CandidateGenerator {
   std::vector<std::uint8_t> used_;
 };
 
+/// Periodic search telemetry, delivered through
+/// `SearchOptions::progress` roughly every `progress_interval`
+/// candidates (and once more when the walk finishes, with
+/// done == total). Rates are measured from the start of the search.
+struct SearchProgress {
+  i64 done = 0;        ///< candidates decided so far (evaluated + pruned)
+  i64 total = 0;       ///< size of the whole candidate space
+  i64 legal = 0;       ///< legal candidates found so far
+  i64 pruned = 0;      ///< candidates pruned so far
+  double elapsed_s = 0;    ///< seconds since the search started
+  double rate = 0;         ///< candidates decided per second
+  double prune_rate = 0;   ///< pruned / done
+  double eta_s = 0;        ///< remaining / rate (0 when rate is 0)
+};
+
+using SearchProgressFn = std::function<void(const SearchProgress&)>;
+
+/// Where rejected candidates died: provenance aggregated over the
+/// whole search (SearchResult::rejections). A candidate rejected by
+/// the incremental engine is attributed to the dependence that killed
+/// it and to the row (slot) where the lexicographic walk decided;
+/// candidates rejected only at completion (zero projection with the
+/// source not preceding the destination) land in the final `by_row`
+/// bucket, index num_slots().
+struct RejectionBreakdown {
+  /// Rejected candidates per dependence index (size = deps.size()).
+  std::vector<i64> by_dependence;
+  /// Rejected candidates per deciding slot, outermost first; the extra
+  /// trailing bucket counts completion-time rejections (size =
+  /// num_slots() + 1).
+  std::vector<i64> by_row;
+  /// Total candidates attributed (== stats.pruned_candidates plus the
+  /// evaluated-illegal candidates a legality diagnostic localizes).
+  i64 rejected = 0;
+
+  std::string to_text(const DependenceSet& deps) const;
+};
+
 /// Search accounting. `candidates_total` = `evaluated` +
 /// `pruned_candidates`; `evaluated` = `legal` + `illegal_evaluated`.
 struct SearchStats {
@@ -117,10 +155,25 @@ struct SearchHit {
 struct SearchResult {
   std::vector<SearchHit> hits;  ///< legal candidates, ascending index
   SearchStats stats;
+  /// Where the rejected candidates died (dependence × row).
+  RejectionBreakdown rejections;
 };
 
 /// Called for each legal candidate as soon as it is found.
 using SearchSink = std::function<void(const SearchHit&)>;
+
+/// Knobs for TransformSession::search. The two-argument overloads are
+/// shorthands for an options struct carrying only `sink` and `mode`.
+struct SearchOptions {
+  SearchMode mode = SearchMode::kFull;
+  /// Receives each legal candidate as soon as it is found.
+  SearchSink sink;
+  /// Periodic telemetry callback; never called when unset.
+  SearchProgressFn progress;
+  /// Candidates between progress reports (approximate: a pruned
+  /// subtree advances the count in one step). Must be positive.
+  i64 progress_interval = 1 << 16;
+};
 
 /// Enumerate the generator's full candidate space in search order —
 /// the reference list `SearchHit::index` points into. Restores the

@@ -5,6 +5,7 @@
 
 #include "codegen/simplify.hpp"
 #include "ir/parser.hpp"
+#include "support/trace.hpp"
 #include "transform/incremental.hpp"
 
 namespace inlt {
@@ -28,15 +29,25 @@ int resolve_threads(int requested, int ceiling, size_t work_items) {
 
 TransformSession TransformSession::from_source(const std::string& source_text,
                                                SessionOptions opts) {
-  return TransformSession(parse_program(source_text), std::move(opts));
+  Program program = [&] {
+    ScopedSpan span("session.parse", "session");
+    return parse_program(source_text);
+  }();
+  return TransformSession(std::move(program), std::move(opts));
 }
 
 TransformSession::TransformSession(Program program, SessionOptions opts)
     : opts_(std::move(opts)),
-      program_(std::make_unique<Program>(std::move(program))),
-      layout_(std::make_unique<IvLayout>(*program_)) {
+      program_(std::make_unique<Program>(std::move(program))) {
+  {
+    ScopedSpan span("session.layout", "session");
+    layout_ = std::make_unique<IvLayout>(*program_);
+  }
   ScopedTimer t("session.analyze");
+  ScopedSpan span("session.analyze", "session");
   deps_ = analyze_dependences(*layout_, opts_.analyzer);
+  if (span.active())
+    span.arg("deps", static_cast<i64>(deps_.deps.size()));
 }
 
 // Out of line: IncrementalLegality is incomplete in the header.
@@ -44,6 +55,7 @@ TransformSession::~TransformSession() = default;
 
 CandidateResult TransformSession::evaluate_impl(const IntMat& m) {
   Stats::global().add("session.evaluations");
+  ScopedSpan span("session.evaluate", "session");
   ScopedProjectionCache install(&cache_);
   CandidateResult r;
   try {
@@ -78,6 +90,7 @@ CandidateResult TransformSession::evaluate_impl(const IntMat& m) {
     std::lock_guard<std::mutex> lock(diag_mu_);
     for (const Diagnostic& d : r.diagnostics) diags_.report(d);
   }
+  if (span.active()) span.arg("legal", r.legal);
   return r;
 }
 

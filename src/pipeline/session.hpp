@@ -41,6 +41,7 @@ namespace inlt {
 class CandidateGenerator;
 class IncrementalLegality;
 struct SearchHit;
+struct SearchOptions;
 struct SearchResult;
 struct SearchSpace;
 
@@ -140,6 +141,12 @@ class TransformSession {
   SearchResult search(const SearchSpace& space,
                       const std::function<void(const SearchHit&)>& sink = {},
                       SearchMode mode = SearchMode::kFull);
+
+  /// Full-option search: mode + sink + periodic progress telemetry
+  /// (see SearchOptions in search.hpp). The two-argument overloads
+  /// above are shorthands for this one.
+  SearchResult search(CandidateGenerator& gen, const SearchOptions& sopts);
+  SearchResult search(const SearchSpace& space, const SearchOptions& sopts);
 
   /// All diagnostics reported by evaluations so far.
   DiagnosticEngine& diags() { return diags_; }

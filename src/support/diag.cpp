@@ -26,29 +26,6 @@ const char* stage_name(Stage s) {
   return "unknown";
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string Diagnostic::render() const {
   std::ostringstream os;
   os << severity_name(severity) << "[" << stage_name(stage) << "]";
@@ -59,6 +36,7 @@ std::string Diagnostic::render() const {
     os << " " << stmt;
   if (!array.empty()) os << " on " << array;
   if (!loop.empty()) os << " loop " << loop;
+  if (row >= 0) os << " row " << row;
   os << ": " << message;
   return os.str();
 }
@@ -72,6 +50,7 @@ std::string Diagnostic::to_json() const {
   if (!dst_stmt.empty()) os << ",\"dst\":\"" << json_escape(dst_stmt) << "\"";
   if (!array.empty()) os << ",\"array\":\"" << json_escape(array) << "\"";
   if (dep_index >= 0) os << ",\"dep\":" << dep_index;
+  if (row >= 0) os << ",\"row\":" << row;
   if (!loop.empty()) os << ",\"loop\":\"" << json_escape(loop) << "\"";
   if (!stmt.empty()) os << ",\"stmt\":\"" << json_escape(stmt) << "\"";
   os << ",\"message\":\"" << json_escape(message) << "\"}";

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/json.hpp"
 
 namespace inlt {
 
@@ -52,6 +53,11 @@ struct Diagnostic {
   int dep_index = -1;    ///< index into the DependenceSet, or -1
   std::string loop;      ///< loop variable involved, if any
   std::string stmt;      ///< single statement involved (non-dependence)
+  /// Legality provenance: the transformed row (instance-vector
+  /// position) at which the lexicographic walk decided this verdict,
+  /// or -1 when not applicable (e.g. a zero projection decided only
+  /// after every common row was consumed).
+  int row = -1;
 
   /// "error[legality] flow S2 -> S1 on A: <message>".
   std::string render() const;
@@ -107,8 +113,5 @@ class DiagnosedTransformError : public TransformError {
 
 /// Throw a DiagnosedTransformError whose what() is d.message.
 [[noreturn]] void throw_diag(Diagnostic d);
-
-/// JSON string escaping (exposed for the stats dumper too).
-std::string json_escape(const std::string& s);
 
 }  // namespace inlt

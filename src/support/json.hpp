@@ -1,0 +1,21 @@
+// Shared JSON string escaping.
+//
+// Every JSON emitter in the framework — Diagnostic::to_json,
+// Stats::to_json, the Chrome trace exporter, the bench reports — must
+// escape strings identically, so the one implementation lives here.
+// Escapes the two mandatory characters (quote, backslash), the common
+// whitespace controls as their short forms, and every other control
+// character (< 0x20) as \u00XX. Non-ASCII bytes pass through
+// untouched (JSON is UTF-8).
+#pragma once
+
+#include <string>
+
+namespace inlt {
+
+std::string json_escape(const std::string& s);
+
+/// `"escaped"` — the escaped string wrapped in quotes.
+std::string json_quote(const std::string& s);
+
+}  // namespace inlt

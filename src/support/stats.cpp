@@ -1,10 +1,11 @@
 #include "support/stats.hpp"
 
+#include <bit>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
 
-#include "support/diag.hpp"
+#include "support/json.hpp"
 
 namespace inlt {
 
@@ -17,6 +18,16 @@ i64 now_ns() {
 }
 
 }  // namespace
+
+int hist_bucket(i64 value) {
+  if (value <= 0) return 0;
+  int b = std::bit_width(static_cast<std::uint64_t>(value));
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+i64 hist_bucket_lo(int b) {
+  return b <= 0 ? 0 : static_cast<i64>(1) << (b - 1);
+}
 
 Stats& Stats::global() {
   static Stats s;
@@ -61,6 +72,17 @@ i64 Stats::time_ns(const std::string& name) const {
                              : it->second->ns.load(std::memory_order_relaxed);
 }
 
+HistogramCell& Stats::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramCell>();
+  return *slot;
+}
+
+void Stats::add_sample(const std::string& name, i64 value) {
+  histogram(name).record(value);
+}
+
 i64 StatsSnapshot::counter(const std::string& name) const {
   auto it = counters.find(name);
   return it == counters.end() ? 0 : it->second;
@@ -79,6 +101,15 @@ StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& base) const {
       t.count -= it->second.count;
     }
   }
+  for (auto& [name, h] : d.histograms) {
+    auto it = base.histograms.find(name);
+    if (it != base.histograms.end()) {
+      h.count -= it->second.count;
+      h.sum -= it->second.sum;
+      for (int b = 0; b < kHistBuckets; ++b)
+        h.buckets[b] -= it->second.buckets[b];
+    }
+  }
   return d;
 }
 
@@ -91,6 +122,13 @@ StatsSnapshot Stats::snapshot() const {
     s.timers[name] = StatsSnapshot::TimerValue{
         t->ns.load(std::memory_order_relaxed),
         t->count.load(std::memory_order_relaxed)};
+  for (const auto& [name, h] : histograms_) {
+    StatsSnapshot::HistogramValue v;
+    v.count = h->count();
+    v.sum = h->sum();
+    for (int b = 0; b < kHistBuckets; ++b) v.buckets[b] = h->bucket(b);
+    s.histograms[name] = v;
+  }
   return s;
 }
 
@@ -101,6 +139,7 @@ void Stats::reset() {
     t->ns.store(0, std::memory_order_relaxed);
     t->count.store(0, std::memory_order_relaxed);
   }
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::string Stats::to_text() const {
@@ -108,16 +147,36 @@ std::string Stats::to_text() const {
   size_t width = 0;
   for (const auto& [name, c] : counters_) width = std::max(width, name.size());
   for (const auto& [name, t] : timers_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_)
+    width = std::max(width, name.size());
   std::ostringstream os;
   for (const auto& [name, c] : counters_)
     os << std::left << std::setw(static_cast<int>(width) + 2) << name
        << c->load(std::memory_order_relaxed) << "\n";
   for (const auto& [name, t] : timers_) {
-    double ms =
-        static_cast<double>(t->ns.load(std::memory_order_relaxed)) / 1e6;
+    i64 ns = t->ns.load(std::memory_order_relaxed);
+    i64 calls = t->count.load(std::memory_order_relaxed);
     os << std::left << std::setw(static_cast<int>(width) + 2) << name
-       << std::fixed << std::setprecision(3) << ms << " ms ("
-       << t->count.load(std::memory_order_relaxed) << " calls)\n";
+       << std::fixed << std::setprecision(3)
+       << static_cast<double>(ns) / 1e6 << " ms (" << calls << " calls";
+    if (calls > 0)
+      os << ", " << std::setprecision(1)
+         << static_cast<double>(ns) / 1e3 / static_cast<double>(calls)
+         << " us/call";
+    os << ")\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    i64 count = h->count();
+    os << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << "n=" << count;
+    if (count > 0)
+      os << " mean=" << std::fixed << std::setprecision(1)
+         << static_cast<double>(h->sum()) / static_cast<double>(count);
+    for (int b = 0; b < kHistBuckets; ++b) {
+      i64 n = h->bucket(b);
+      if (n > 0) os << " " << hist_bucket_lo(b) << ":" << n;
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -141,6 +200,23 @@ std::string Stats::to_json() const {
     os << "\"" << json_escape(name)
        << "\":{\"ns\":" << t->ns.load(std::memory_order_relaxed)
        << ",\"count\":" << t->count.load(std::memory_order_relaxed) << "}";
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"buckets\":{";
+    bool bfirst = true;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      i64 n = h->bucket(b);
+      if (n == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "\"" << hist_bucket_lo(b) << "\":" << n;
+    }
+    os << "}}";
   }
   os << "}}";
   return os.str();

@@ -7,6 +7,7 @@
 
 #include "support/check.hpp"
 #include "support/diag.hpp"
+#include "support/trace.hpp"
 
 namespace inlt {
 
@@ -50,6 +51,11 @@ CompletionResult complete_transformation(
     const std::vector<IntVec>& partial_loop_rows,
     const CompletionOptions& opts) {
   (void)opts;
+  ScopedSpan span("transform.complete", "transform");
+  if (span.active()) {
+    span.arg("partial_rows", static_cast<i64>(partial_loop_rows.size()));
+    span.arg("deps", static_cast<i64>(deps.deps.size()));
+  }
   const Program& prog = src.program();
   int n = src.size();
   std::vector<int> loop_positions = src.all_loop_positions();

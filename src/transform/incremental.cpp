@@ -101,6 +101,7 @@ bool IncrementalLegality::push_row(const IntVec& row) {
     // Extending a dead prefix: stay dead, no work.
     node->viable = false;
     node->killer = cur->killer;
+    node->killer_row = cur->killer_row;
   } else {
     stat_rows_evaluated().fetch_add(1, std::memory_order_relaxed);
     node->states = cur->states;
@@ -119,6 +120,7 @@ bool IncrementalLegality::push_row(const IntVec& row) {
       if (ns == kReject) {
         node->viable = false;
         node->killer = d;
+        node->killer_row = slot;
         node->states.clear();  // dead nodes carry no states
         // Move-to-front: this dependence just proved it prunes; try
         // it first on future prefixes.
@@ -146,6 +148,14 @@ bool IncrementalLegality::prefix_viable() const {
 
 int IncrementalLegality::killer() const { return path_.back()->killer; }
 
+int IncrementalLegality::killer_row() const {
+  return path_.back()->killer_row;
+}
+
+int IncrementalLegality::leaf_killer() const {
+  return path_.back()->leaf_killer;
+}
+
 bool IncrementalLegality::current_legal() const {
   INLT_CHECK_MSG(depth() == num_slots(),
                  "current_legal needs a complete candidate");
@@ -160,6 +170,7 @@ bool IncrementalLegality::current_legal() const {
       State s = static_cast<State>(leaf->states[d]);
       if ((s == kRun || s == kRunNonNeg) && !zero_ok_[d]) {
         legal = false;
+        leaf->leaf_killer = static_cast<int>(d);
         break;
       }
     }
@@ -202,6 +213,7 @@ void IncrementalLegality::clear() {
   INLT_CHECK_MSG(path_.size() == 1, "clear with rows still pushed");
   root_->children.clear();
   root_->leaf_legal = -1;
+  root_->leaf_killer = -1;
   path_.back() = root_.get();
   node_count_ = 1;
 }

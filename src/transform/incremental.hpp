@@ -64,6 +64,16 @@ class IncrementalLegality {
   bool prefix_viable() const;
   /// Index of the dependence that killed the prefix (-1 if viable).
   int killer() const;
+  /// Slot (row) at which the prefix died (-1 if viable). Slots number
+  /// pushed rows 0..num_slots()-1, outermost first; convert to a
+  /// layout position with slot_position().
+  int killer_row() const;
+
+  /// After a full-depth push with current_legal() == false on a
+  /// *viable* leaf: the first dependence whose zero projection is not
+  /// acceptable (the provenance of a completion-time rejection).
+  /// -1 when the leaf is legal or died earlier.
+  int leaf_killer() const;
 
   /// Verdict for the complete candidate; requires depth()==num_slots().
   /// Equals check_legality(...).legal() for supported matrices.
@@ -102,8 +112,14 @@ class IncrementalLegality {
     std::vector<std::uint8_t> states;
     bool viable = true;
     int killer = -1;
+    // Slot index of the row that killed the node (-1 while viable);
+    // inherited by extensions of a dead prefix.
+    int killer_row = -1;
     // Memoized leaf verdict: -1 unknown, else 0/1.
     int leaf_legal = -1;
+    // Dependence whose unacceptable zero projection rejected a viable
+    // leaf (-1 otherwise); memoized with leaf_legal.
+    int leaf_killer = -1;
     std::map<IntVec, std::unique_ptr<Node>> children;
   };
 

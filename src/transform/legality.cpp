@@ -4,6 +4,7 @@
 
 #include "instance/program_order.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace inlt {
 
@@ -12,7 +13,7 @@ namespace {
 // Record one violated dependence as both a structured diagnostic and
 // its rendered prose (the two vectors stay index-aligned).
 void add_violation(LegalityResult& out, const Dependence& d, size_t dep_index,
-                   const std::string& message) {
+                   int row, const std::string& message) {
   Diagnostic diag;
   diag.severity = Severity::kError;
   diag.stage = Stage::kLegality;
@@ -22,8 +23,50 @@ void add_violation(LegalityResult& out, const Dependence& d, size_t dep_index,
   diag.array = d.array;
   diag.dep_kind = dep_kind_name(d.kind);
   diag.dep_index = static_cast<int>(dep_index);
+  diag.row = row;
   out.violations.push_back(message);
   out.diagnostics.push_back(std::move(diag));
+}
+
+// The Definition 6 walk for one dependence, with full provenance:
+// the single source of truth both check_legality_with_target and
+// explain_legality derive their verdicts from.
+DependenceTrace trace_dependence(const DependenceSet& deps, size_t i,
+                                 const IntMat& m, const IvLayout& tl) {
+  const Dependence& d = deps.deps[i];
+  DependenceTrace t;
+  t.dep_index = static_cast<int>(i);
+  t.transformed = transform_dep(m, d.vector);
+  // Loops common to the two statements in the *transformed* program.
+  // Linear transformations preserve the tree, so these are the same
+  // tree loops at their (possibly reordered) target positions.
+  t.common = tl.common_loop_positions(d.src, d.dst);
+  t.projected = project_dep(t.transformed, t.common);
+  int at = -1;
+  t.status = lex_status_at(t.projected, &at);
+  if (at >= 0) t.decided_row = t.common[at];
+  switch (t.status) {
+    case LexStatus::kPositive:
+      t.legal = true;
+      break;
+    case LexStatus::kNonNegative:
+      // P may be zero: the zero case must be covered exactly like
+      // kZero; the positive case is already fine.
+      [[fallthrough]];
+    case LexStatus::kZero:
+      if (d.src == d.dst) {
+        t.legal = true;
+        t.unsatisfied = true;
+      } else {
+        t.legal = syntactically_before(tl, d.src, d.dst);
+      }
+      break;
+    case LexStatus::kNegative:
+    case LexStatus::kUnknown:
+      t.legal = false;
+      break;
+  }
+  return t;
 }
 
 }  // namespace
@@ -38,53 +81,37 @@ LegalityResult check_legality_with_target(const IvLayout& /*src*/,
                                           const IntMat& m,
                                           const IvLayout& tl) {
   Stats::global().add("legality.checks");
+  ScopedSpan span("legality.check", "legality");
   LegalityResult out;
   for (size_t i = 0; i < deps.deps.size(); ++i) {
     const Dependence& d = deps.deps[i];
-    DepVector td = transform_dep(m, d.vector);
-    // Loops common to the two statements in the *transformed* program.
-    // Linear transformations preserve the tree, so these are the same
-    // tree loops at their (possibly reordered) target positions.
-    std::vector<int> common = tl.common_loop_positions(d.src, d.dst);
-    DepVector p = project_dep(td, common);
-    switch (lex_status(p)) {
-      case LexStatus::kPositive:
-        break;  // satisfied by a common loop
-      case LexStatus::kNonNegative:
-        // P may be zero: the zero case must be covered exactly like
-        // kZero; the positive case is already fine.
-        [[fallthrough]];
-      case LexStatus::kZero:
-        if (d.src == d.dst) {
-          out.unsatisfied.push_back(static_cast<int>(i));
-        } else if (!(syntactically_before(tl, d.src, d.dst) &&
-                     d.src != d.dst)) {
-          std::ostringstream os;
-          os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst
-             << " " << dep_to_string(d.vector)
-             << ": projection zero but " << d.src
-             << " does not precede " << d.dst << " in the new AST";
-          add_violation(out, d, i, os.str());
-        }
-        break;
-      case LexStatus::kNegative: {
-        std::ostringstream os;
-        os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " "
-           << dep_to_string(d.vector) << ": transformed projection "
-           << dep_to_string(p) << " is lexicographically negative";
-        add_violation(out, d, i, os.str());
-        break;
-      }
-      case LexStatus::kUnknown: {
-        std::ostringstream os;
-        os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " "
-           << dep_to_string(d.vector) << ": transformed projection "
-           << dep_to_string(p)
-           << " cannot be proven lexicographically non-negative";
-        add_violation(out, d, i, os.str());
-        break;
-      }
+    DependenceTrace t = trace_dependence(deps, i, m, tl);
+    if (t.legal) {
+      if (t.unsatisfied) out.unsatisfied.push_back(static_cast<int>(i));
+      continue;
     }
+    std::ostringstream os;
+    os << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst << " "
+       << dep_to_string(d.vector);
+    switch (t.status) {
+      case LexStatus::kNegative:
+        os << ": transformed projection " << dep_to_string(t.projected)
+           << " is lexicographically negative";
+        break;
+      case LexStatus::kUnknown:
+        os << ": transformed projection " << dep_to_string(t.projected)
+           << " cannot be proven lexicographically non-negative";
+        break;
+      default:
+        os << ": projection zero but " << d.src << " does not precede "
+           << d.dst << " in the new AST";
+        break;
+    }
+    add_violation(out, d, i, t.decided_row, os.str());
+  }
+  if (span.active()) {
+    span.arg("deps", static_cast<i64>(deps.deps.size()));
+    span.arg("violations", static_cast<i64>(out.violations.size()));
   }
   return out;
 }
@@ -93,6 +120,96 @@ LegalityResult check_legality(const IvLayout& src, const DependenceSet& deps,
                               const IntMat& m) {
   AstRecovery rec = recover_ast(src, m);
   return check_legality(src, deps, m, rec);
+}
+
+bool LegalityTrace::legal() const {
+  for (const DependenceTrace& t : deps)
+    if (!t.legal) return false;
+  return true;
+}
+
+std::vector<int> LegalityTrace::violated() const {
+  std::vector<int> out;
+  for (const DependenceTrace& t : deps)
+    if (!t.legal) out.push_back(t.dep_index);
+  return out;
+}
+
+std::string LegalityTrace::to_text(const DependenceSet& ds,
+                                   const IvLayout& tl) const {
+  std::ostringstream os;
+  size_t violated_n = 0, unsatisfied_n = 0;
+  for (const DependenceTrace& t : deps) {
+    const Dependence& d = ds.deps[t.dep_index];
+    os << "dependence " << t.dep_index << ": " << dep_kind_name(d.kind) << " "
+       << d.src << " -> " << d.dst << " on " << d.array << "\n";
+    os << "  d       = " << dep_to_string(d.vector) << "\n";
+    os << "  M.d     = " << dep_to_string(t.transformed) << "\n";
+    os << "  common  = {";
+    for (size_t c = 0; c < t.common.size(); ++c)
+      os << (c ? ", " : "") << tl.positions()[t.common[c]].name;
+    os << "} rows {";
+    for (size_t c = 0; c < t.common.size(); ++c)
+      os << (c ? ", " : "") << t.common[c];
+    os << "}\n";
+    os << "  P       = " << dep_to_string(t.projected) << "  ("
+       << lex_status_name(t.status);
+    if (t.decided_row >= 0)
+      os << ", decided at row " << t.decided_row << " ("
+         << tl.positions()[t.decided_row].name << ")";
+    os << ")\n";
+    os << "  verdict = ";
+    if (!t.legal) {
+      ++violated_n;
+      switch (t.status) {
+        case LexStatus::kNegative:
+          os << "VIOLATED: projection lexicographically negative";
+          break;
+        case LexStatus::kUnknown:
+          os << "VIOLATED: projection cannot be proven non-negative";
+          break;
+        default:
+          os << "VIOLATED: zero projection but " << d.src
+             << " does not precede " << d.dst << " in the new AST";
+          break;
+      }
+      if (t.decided_row >= 0)
+        os << " (killed at row " << t.decided_row << ")";
+    } else if (t.unsatisfied) {
+      ++unsatisfied_n;
+      os << "unsatisfied self-dependence: zero projection; augmentation "
+            "must carry it";
+    } else if (t.status == LexStatus::kPositive) {
+      os << "satisfied: carried by common loop "
+         << (t.decided_row >= 0 ? tl.positions()[t.decided_row].name
+                                : std::string("?"));
+    } else {
+      os << "satisfied: zero projection, " << d.src << " precedes " << d.dst
+         << " syntactically";
+    }
+    os << "\n\n";
+  }
+  os << "legality: " << (violated_n == 0 ? "LEGAL" : "ILLEGAL") << " ("
+     << violated_n << " violated, " << unsatisfied_n
+     << " unsatisfied self-dependence" << (unsatisfied_n == 1 ? "" : "s")
+     << ")\n";
+  return os.str();
+}
+
+LegalityTrace explain_legality(const IvLayout& src, const DependenceSet& deps,
+                               const IntMat& m) {
+  return explain_legality(src, deps, m, recover_ast(src, m));
+}
+
+LegalityTrace explain_legality(const IvLayout& /*src*/,
+                               const DependenceSet& deps, const IntMat& m,
+                               const AstRecovery& rec) {
+  const IvLayout& tl = *rec.target_layout;
+  LegalityTrace out;
+  out.deps.reserve(deps.deps.size());
+  for (size_t i = 0; i < deps.deps.size(); ++i)
+    out.deps.push_back(trace_dependence(deps, i, m, tl));
+  return out;
 }
 
 }  // namespace inlt

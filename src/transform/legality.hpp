@@ -51,4 +51,49 @@ LegalityResult check_legality_with_target(const IvLayout& src,
                                           const IntMat& m,
                                           const IvLayout& target_layout);
 
+/// Full provenance of one dependence's Definition 6 walk: the
+/// transformed vector M·d, its projection P onto the common loops,
+/// and where/how the lexicographic verdict was decided.
+struct DependenceTrace {
+  int dep_index = -1;      ///< index into DependenceSet::deps
+  DepVector transformed;   ///< M·d (full instance-vector width)
+  std::vector<int> common; ///< common-loop positions (target layout order)
+  DepVector projected;     ///< P = (M·d) | common
+  LexStatus status = LexStatus::kZero;
+  /// Target-layout position (transformed row) whose entry decided the
+  /// verdict; -1 when the verdict needed the whole projection (zero /
+  /// possibly-zero walks).
+  int decided_row = -1;
+  bool legal = false;       ///< this dependence's verdict
+  bool unsatisfied = false; ///< self-dependence with zero projection
+};
+
+/// Per-dependence legality provenance for one candidate — what the
+/// `inltc explain` command renders. Entry i describes deps.deps[i];
+/// the overall verdict matches check_legality on the same inputs.
+struct LegalityTrace {
+  std::vector<DependenceTrace> deps;
+
+  bool legal() const;
+  /// Indices of violated dependences, ascending.
+  std::vector<int> violated() const;
+
+  /// Human-readable rendering in the paper's Δ-vector terms. Needs the
+  /// dependence set (statement/array/kind names) and the target layout
+  /// (loop names per position).
+  std::string to_text(const DependenceSet& deps,
+                      const IvLayout& target_layout) const;
+};
+
+/// Trace Definition 6 for every dependence. Throws (like recover_ast)
+/// when the matrix is not block-structured.
+LegalityTrace explain_legality(const IvLayout& src, const DependenceSet& deps,
+                               const IntMat& m);
+
+/// Same, against an already-recovered AST (`rec` must come from
+/// recover_ast(src, m)) — lets callers keep the target layout for
+/// rendering without recovering twice.
+LegalityTrace explain_legality(const IvLayout& src, const DependenceSet& deps,
+                               const IntMat& m, const AstRecovery& rec);
+
 }  // namespace inlt

@@ -1,0 +1,35 @@
+# Trace-export check (invoked by ctest via `cmake -P`): run a search
+# with --trace-out and validate the emitted Chrome trace structurally
+# with tools/check_trace.py.
+#
+# Variables (passed with -D):
+#   INLTC    path to the inltc binary
+#   PYTHON   python3 interpreter
+#   CHECKER  path to check_trace.py
+#   LOOP     input program
+#   OUT      where to write the trace JSON
+foreach(v INLTC PYTHON CHECKER LOOP OUT)
+  if(NOT DEFINED ${v})
+    message(FATAL_ERROR "run_trace_check.cmake: missing -D${v}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${INLTC} search ${LOOP} --legality-only --trace-out ${OUT}
+  OUTPUT_QUIET
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "inltc search --trace-out: exit ${rc}\nstderr:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+    --min-events 5 --require-cat session --require-cat search
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected ${OUT}:\n${err}")
+endif()

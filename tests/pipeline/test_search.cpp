@@ -10,6 +10,7 @@
 
 #include "ir/gallery.hpp"
 #include "ir/printer.hpp"
+#include "transform/legality.hpp"
 
 namespace inlt {
 namespace {
@@ -166,6 +167,117 @@ TEST(SearchTest, RepeatedSearchesReuseTheEngine) {
   EXPECT_EQ(first.hits.size(), second.hits.size());
   for (size_t i = 0; i < first.hits.size(); ++i)
     EXPECT_EQ(first.hits[i].index, second.hits[i].index);
+}
+
+TEST(SearchTest, RejectionBreakdownAccountsForEveryIllegalCandidate) {
+  // Hull mode on the Cholesky order sweep: every illegal candidate is
+  // rejected by the engine (at a prefix or at the leaf), so the
+  // provenance must attribute exactly the pruned count, and the
+  // per-dependence and per-row tallies must each sum to it.
+  SessionOptions opts;
+  opts.threads = 1;
+  TransformSession session(gallery::cholesky(), opts);
+  SearchResult res = session.search(SearchSpace{});
+  ASSERT_GT(res.stats.pruned_candidates, 0);
+  EXPECT_EQ(res.rejections.rejected,
+            res.stats.pruned_candidates + res.stats.illegal_evaluated);
+
+  i64 by_dep = 0, by_row = 0;
+  for (i64 n : res.rejections.by_dependence) {
+    EXPECT_GE(n, 0);
+    by_dep += n;
+  }
+  for (i64 n : res.rejections.by_row) {
+    EXPECT_GE(n, 0);
+    by_row += n;
+  }
+  EXPECT_EQ(by_dep, res.rejections.rejected);
+  EXPECT_EQ(by_row, res.rejections.rejected);
+  ASSERT_EQ(res.rejections.by_dependence.size(),
+            session.dependences().deps.size());
+  // by_row has one bucket per slot plus the completion bucket.
+  EXPECT_EQ(res.rejections.by_row.size(),
+            session.layout().all_loop_positions().size() + 1);
+  EXPECT_NE(res.rejections.to_text(session.dependences()).find("rejected"),
+            std::string::npos);
+}
+
+TEST(SearchTest, RejectionTotalMatchesBatchLegality) {
+  // The number of candidates the breakdown attributes equals the
+  // number check_legality rejects over the materialized list.
+  SessionOptions opts;
+  opts.threads = 1;
+  TransformSession session(gallery::cholesky(), opts);
+  PermutationSkewGenerator gen(session.layout(), SearchSpace{});
+  std::vector<IntMat> cands = materialize_candidates(session.layout(), gen);
+  i64 illegal = 0;
+  for (const IntMat& m : cands)
+    if (!check_legality(session.layout(), session.dependences(), m).legal())
+      ++illegal;
+
+  PermutationSkewGenerator gen2(session.layout(), SearchSpace{});
+  SearchOptions sopts;
+  sopts.mode = SearchMode::kLegalityOnly;
+  SearchResult res = session.search(gen2, sopts);
+  EXPECT_EQ(res.rejections.rejected, illegal);
+  // Every attributed dependence is one that actually appears in a
+  // violation somewhere in the space.
+  for (size_t d = 0; d < res.rejections.by_dependence.size(); ++d) {
+    if (res.rejections.by_dependence[d] == 0) continue;
+    bool violates_somewhere = false;
+    for (const IntMat& m : cands) {
+      LegalityResult lr =
+          check_legality(session.layout(), session.dependences(), m);
+      for (const Diagnostic& dg : lr.diagnostics)
+        if (dg.dep_index == static_cast<int>(d)) violates_somewhere = true;
+    }
+    EXPECT_TRUE(violates_somewhere) << "dependence " << d;
+  }
+}
+
+TEST(SearchTest, ProgressCallbackIsMonotonicAndFinal) {
+  SessionOptions opts;
+  opts.threads = 1;
+  TransformSession session(gallery::cholesky(), opts);
+  std::vector<SearchProgress> reports;
+  SearchOptions sopts;
+  sopts.mode = SearchMode::kLegalityOnly;
+  sopts.progress_interval = 1;  // report as often as possible
+  sopts.progress = [&](const SearchProgress& p) { reports.push_back(p); };
+  SearchResult res = session.search(SearchSpace{}, sopts);
+
+  ASSERT_FALSE(reports.empty());
+  i64 prev = -1;
+  for (const SearchProgress& p : reports) {
+    EXPECT_GE(p.done, prev);
+    prev = p.done;
+    EXPECT_EQ(p.total, res.stats.candidates_total);
+    EXPECT_LE(p.done, p.total);
+    EXPECT_GE(p.elapsed_s, 0.0);
+    EXPECT_GE(p.rate, 0.0);
+    EXPECT_GE(p.prune_rate, 0.0);
+    EXPECT_LE(p.prune_rate, 1.0);
+    EXPECT_GE(p.eta_s, 0.0);
+  }
+  // The final report closes the bar: done == total, final tallies.
+  EXPECT_EQ(reports.back().done, res.stats.candidates_total);
+  EXPECT_EQ(reports.back().legal, res.stats.legal);
+  EXPECT_EQ(reports.back().pruned, res.stats.pruned_candidates);
+}
+
+TEST(SearchTest, ProgressNotCalledWhenUnset) {
+  // No progress callback: nothing to report, nothing crashes — and the
+  // options overload agrees with the shorthand overload.
+  TransformSession session(gallery::lu());
+  SearchOptions sopts;
+  sopts.mode = SearchMode::kLegalityOnly;
+  SearchResult a = session.search(SearchSpace{}, sopts);
+  SearchResult b =
+      session.search(SearchSpace{}, {}, SearchMode::kLegalityOnly);
+  EXPECT_EQ(a.stats.legal, b.stats.legal);
+  EXPECT_EQ(a.rejections.rejected, b.rejections.rejected);
+  EXPECT_EQ(a.rejections.by_dependence, b.rejections.by_dependence);
+  EXPECT_EQ(a.rejections.by_row, b.rejections.by_row);
 }
 
 TEST(SearchTest, GeneratorEnumeratesExpectedCounts) {

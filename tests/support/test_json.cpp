@@ -1,0 +1,49 @@
+// json_escape / json_quote: the one escaping routine every JSON
+// emitter (diagnostics, stats, traces, bench reports) shares.
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace inlt {
+namespace {
+
+TEST(JsonEscape, PlainStringsPassThrough) {
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape("a[0] -> b{1}"), "a[0] -> b{1}");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\path\\file"), "C:\\\\path\\\\file");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, CommonControlShortForms) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, OtherControlCharsAsUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string("x") + '\0' + "y"),
+            "x\\u0000y");
+}
+
+TEST(JsonEscape, NonAsciiBytesUntouched) {
+  // UTF-8 multibyte sequences are valid JSON as-is.
+  std::string s = "\xce\x94-vector";  // Δ-vector
+  EXPECT_EQ(json_escape(s), s);
+}
+
+TEST(JsonQuote, WrapsEscapedContent) {
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote(""), "\"\"");
+}
+
+}  // namespace
+}  // namespace inlt

@@ -110,6 +110,95 @@ TEST(Stats, SnapshotUnaffectedByLaterMutation) {
   EXPECT_EQ(snap.counter("snap.k"), 1);  // a copy, not a view
 }
 
+TEST(Stats, HistBucketBoundaries) {
+  EXPECT_EQ(hist_bucket(-5), 0);
+  EXPECT_EQ(hist_bucket(0), 0);
+  EXPECT_EQ(hist_bucket(1), 1);
+  EXPECT_EQ(hist_bucket(2), 2);
+  EXPECT_EQ(hist_bucket(3), 2);
+  EXPECT_EQ(hist_bucket(4), 3);
+  EXPECT_EQ(hist_bucket(1023), 10);
+  EXPECT_EQ(hist_bucket(1024), 11);
+  EXPECT_EQ(hist_bucket_lo(0), 0);
+  EXPECT_EQ(hist_bucket_lo(1), 1);
+  EXPECT_EQ(hist_bucket_lo(2), 2);
+  EXPECT_EQ(hist_bucket_lo(11), 1024);
+}
+
+TEST(Stats, HistogramRecordsCountsSumsAndBuckets) {
+  Stats s;
+  HistogramCell& h = s.histogram("h");
+  h.record(1);
+  h.record(3);
+  h.record(1000);
+  s.add_sample("h", 0);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1004);
+  EXPECT_EQ(h.bucket(0), 1);   // the 0 sample
+  EXPECT_EQ(h.bucket(1), 1);   // 1
+  EXPECT_EQ(h.bucket(2), 1);   // 3
+  EXPECT_EQ(h.bucket(10), 1);  // 1000
+  // The reference is stable and reset() zeroes in place.
+  s.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(&h, &s.histogram("h"));
+}
+
+TEST(Stats, HistogramAppearsInTextAndJson) {
+  Stats s;
+  s.add_sample("fm.sizes", 5);
+  s.add_sample("fm.sizes", 6);
+  std::string text = s.to_text();
+  EXPECT_NE(text.find("fm.sizes"), std::string::npos) << text;
+  EXPECT_NE(text.find("n=2"), std::string::npos) << text;
+  std::string j = s.to_json();
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fm.sizes\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"sum\":11"), std::string::npos) << j;
+}
+
+TEST(Stats, SnapshotDeltaSubtractsHistograms) {
+  Stats s;
+  s.add_sample("d.h", 4);
+  StatsSnapshot before = s.snapshot();
+  s.add_sample("d.h", 4);
+  s.add_sample("d.h", 100);
+  StatsSnapshot delta = s.snapshot() - before;
+  const StatsSnapshot::HistogramValue& hv = delta.histograms.at("d.h");
+  EXPECT_EQ(hv.count, 2);
+  EXPECT_EQ(hv.sum, 104);
+  EXPECT_EQ(hv.buckets[hist_bucket(4)], 1);
+  EXPECT_EQ(hv.buckets[hist_bucket(100)], 1);
+  EXPECT_DOUBLE_EQ(hv.mean(), 52.0);
+}
+
+TEST(Stats, SnapshotDeltaSubtractsTimerCounts) {
+  Stats s;
+  s.add_time_ns("sub.t", 100);
+  s.add_time_ns("sub.t", 100);
+  StatsSnapshot before = s.snapshot();
+  s.add_time_ns("sub.t", 50);
+  s.add_time_ns("sub.t", 50);
+  s.add_time_ns("sub.t", 50);
+  StatsSnapshot delta = s.snapshot() - before;
+  EXPECT_EQ(delta.timers.at("sub.t").ns, 150);
+  EXPECT_EQ(delta.timers.at("sub.t").count, 3);
+  // Keys only in the base vanish from the delta rather than going
+  // negative-from-zero.
+  EXPECT_EQ(before.timers.at("sub.t").count, 2);
+}
+
+TEST(Stats, TimerTextIncludesMeanPerInvocation) {
+  Stats s;
+  s.add_time_ns("mean.t", 2'000'000);
+  s.add_time_ns("mean.t", 4'000'000);
+  std::string text = s.to_text();
+  // 6 ms over 2 calls = 3000 us/call.
+  EXPECT_NE(text.find("mean.t"), std::string::npos) << text;
+  EXPECT_NE(text.find("us/call"), std::string::npos) << text;
+  EXPECT_NE(text.find("3000.0"), std::string::npos) << text;
+}
+
 TEST(Stats, ScopedTimerRecordsIntoGlobal) {
   const std::string name = "test.scoped_timer_probe";
   i64 before_ns = Stats::global().time_ns(name);

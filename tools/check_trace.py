@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace-out.
+
+Checks that the file is valid JSON with the shape Perfetto / chrome://tracing
+expect: a top-level "traceEvents" list of complete ("ph":"X") events, each
+carrying name/cat/ts/dur/pid/tid with sane values.
+
+Usage: check_trace.py TRACE.json [--min-events N] [--require-cat CAT ...]
+Exits 0 when valid, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of trace events expected")
+    ap.add_argument("--require-cat", action="append", default=[],
+                    help="category that must appear at least once")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be a list")
+    if len(events) < args.min_events:
+        fail(f"expected at least {args.min_events} events, got {len(events)}")
+
+    cats = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                fail(f"event {i} missing key '{key}': {ev}")
+        if ev["ph"] != "X":
+            fail(f"event {i} has ph={ev['ph']!r}, expected complete event 'X'")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"event {i} has invalid ts={ev['ts']!r}")
+        if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+            fail(f"event {i} has negative dur={ev['dur']!r}")
+        if not isinstance(ev["tid"], int) or ev["tid"] <= 0:
+            fail(f"event {i} has invalid tid={ev['tid']!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"event {i} has non-object args")
+        cats.add(ev["cat"])
+
+    for cat in args.require_cat:
+        if cat not in cats:
+            fail(f"required category '{cat}' absent (saw: {sorted(cats)})")
+
+    print(f"check_trace: OK: {len(events)} events, "
+          f"categories: {', '.join(sorted(cats))}")
+
+
+if __name__ == "__main__":
+    main()

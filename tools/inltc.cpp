@@ -11,6 +11,9 @@
 //   inltc search    <file>                     sweep permutations × skews
 //                                              through the pruning search
 //                                              driver, list legal candidates
+//   inltc explain   <file> <op> [...ops]       per-dependence legality
+//                                              provenance: the Definition 6
+//                                              walk in Δ-vector terms
 //
 // Transformation ops (composed left to right):
 //   interchange A B | skew T S k | reverse V | scale V k
@@ -23,6 +26,10 @@
 //        --stats      dump pipeline counters and timers to stderr
 //        --diag-json  print structured diagnostics as JSON on stdout
 //        --threads N  evaluate_all worker threads (0 = hardware)
+//        --trace-out F  write a Chrome trace-event JSON of the run to F
+//                       (load in Perfetto / chrome://tracing)
+//        --trace-summary  per-category span table on stderr
+//        --progress   periodic search progress on stderr
 //        --search     alias for the search command
 //        search only: --skew-bound B | --skew-depth D | --full
 //        (--full generates and prints each legal candidate's program;
@@ -43,7 +50,9 @@
 #include "ir/printer.hpp"
 #include "pipeline/search.hpp"
 #include "pipeline/session.hpp"
+#include "support/trace.hpp"
 #include "transform/completion.hpp"
+#include "transform/legality.hpp"
 #include "transform/parallel.hpp"
 #include "transform/transforms.hpp"
 
@@ -60,10 +69,11 @@ commands:
   complete  <file> [loops...]      complete a partial transformation (§6)
   parallel  <file>                 parallel directions (§7)
   search    <file>                 sweep permutations x skews, list legal ones
+  explain   <file> <ops...>        per-dependence legality provenance
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
 flags: --verify N | --raw | --exact | --pad-zero | --stats | --diag-json
-       --threads N | --search
+       --threads N | --search | --trace-out F | --trace-summary | --progress
 search flags: --skew-bound B | --skew-depth D | --full
 )";
   std::exit(2);
@@ -97,6 +107,9 @@ struct Options {
   i64 skew_bound = 0;     // search space: skew coefficient bound
   int skew_depth = 1;     // search space: skewable window depth
   bool full = false;      // search: generate code for every hit
+  std::string trace_out;  // Chrome trace-event JSON destination
+  bool trace_summary = false;  // per-category span table on stderr
+  bool progress = false;  // search: periodic progress on stderr
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -130,6 +143,13 @@ Options parse_flags(int argc, char** argv, int first) {
       o.skew_depth = std::stoi(argv[i]);
     } else if (a == "--full") {
       o.full = true;
+    } else if (a == "--trace-out") {
+      if (++i >= argc) usage();
+      o.trace_out = argv[i];
+    } else if (a == "--trace-summary") {
+      o.trace_summary = true;
+    } else if (a == "--progress") {
+      o.progress = true;
     } else {
       o.args.push_back(a);
     }
@@ -188,8 +208,33 @@ IntMat parse_ops(const IvLayout& layout, const std::vector<std::string>& ops,
   return m;
 }
 
+// End-of-run telemetry: --stats counters, the Chrome trace file, and
+// the span summary. Every exit path (success, diagnostics, errors)
+// funnels through here so a partial run still leaves a usable trace.
 void dump_stats(const Options& opts) {
   if (opts.stats) std::cerr << Stats::global().to_text();
+  if (!opts.trace_out.empty()) {
+    std::ofstream out(opts.trace_out);
+    if (!out) {
+      std::cerr << "inltc: cannot write trace to " << opts.trace_out << "\n";
+    } else {
+      out << Tracer::global().chrome_trace_json() << "\n";
+      std::cerr << "trace: " << Tracer::global().event_count()
+                << " events -> " << opts.trace_out << "\n";
+    }
+  }
+  if (opts.trace_summary) std::cerr << Tracer::global().summary_text();
+}
+
+// Progress line for long searches, rendered in place on stderr.
+void render_progress(const SearchProgress& p) {
+  std::ostringstream os;
+  os << "search: " << p.done << "/" << p.total << " ("
+     << static_cast<i64>(p.rate) << " cand/s, "
+     << static_cast<i64>(p.prune_rate * 100) << "% pruned, " << p.legal
+     << " legal, eta " << static_cast<i64>(p.eta_s) << "s)";
+  std::cerr << "\r" << os.str() << (p.done >= p.total ? "\n" : "")
+            << std::flush;
 }
 
 int emit_and_verify(const Program& source, const Program& result,
@@ -246,6 +291,8 @@ int main(int argc, char** argv) {
   if (opts.search_flag) cmd = "search";
   if (cmd.empty() || opts.args.empty()) usage();
   std::string path = opts.args[0];
+  if (!opts.trace_out.empty() || opts.trace_summary)
+    Tracer::global().enable();
 
   try {
     SessionOptions sopts;
@@ -277,6 +324,16 @@ int main(int argc, char** argv) {
       return run_candidate(session, m, opts);
     }
 
+    if (cmd == "explain") {
+      IntMat m = parse_ops(layout, opts.args, 1);
+      std::cerr << "matrix:\n" << mat_to_string(m) << "\n";
+      AstRecovery rec = recover_ast(layout, m);
+      LegalityTrace t = explain_legality(layout, deps, m, rec);
+      std::cout << t.to_text(deps, *rec.target_layout);
+      dump_stats(opts);
+      return t.legal() ? 0 : 1;
+    }
+
     if (cmd == "complete") {
       std::vector<IntVec> rows;
       for (size_t i = 1; i < opts.args.size(); ++i) {
@@ -292,9 +349,11 @@ int main(int argc, char** argv) {
 
     if (cmd == "search") {
       SearchSpace space{opts.skew_bound, opts.skew_depth};
-      SearchMode mode =
+      SearchOptions search_opts;
+      search_opts.mode =
           opts.full ? SearchMode::kFull : SearchMode::kLegalityOnly;
-      SearchResult res = session.search(space, {}, mode);
+      if (opts.progress) search_opts.progress = render_progress;
+      SearchResult res = session.search(space, search_opts);
       std::cout << "search space: " << res.stats.candidates_total
                 << " candidates (skew bound " << opts.skew_bound << ", depth "
                 << opts.skew_depth << ")\n"
@@ -302,6 +361,8 @@ int main(int argc, char** argv) {
                 << "  evaluated: " << res.stats.evaluated
                 << "  pruned: " << res.stats.pruned_candidates << " ("
                 << res.stats.pruned_subtrees << " subtrees)\n";
+      if (res.rejections.rejected > 0)
+        std::cout << res.rejections.to_text(deps);
       for (const SearchHit& h : res.hits) {
         std::cout << "\nlegal candidate #" << h.index << ":\n"
                   << mat_to_string(h.matrix);
