@@ -1,71 +1,165 @@
-// C7 — interpreter fidelity overhead: how much slower the IR
-// interpreter (the vehicle for semantic verification of every
-// transformation in the test suite) is than native code on the same
-// computation, and the cost of running generated (guarded) code vs the
-// source form.
-#include <benchmark/benchmark.h>
+// Execution-engine throughput: the compiled bytecode VM vs. the
+// recursive AST walker on the same programs and inputs, across the
+// kernels semantic verification actually runs — Cholesky, LU, a 2-D
+// stencil, and the skewed (wavefront) form of that stencil, at several
+// problem sizes.
+//
+// Each measurement times `interpret()` end to end (the VM side
+// includes compilation), on a fresh copy of identically filled memory,
+// so the ratio is exactly what a verification sweep sees. Emits
+// BENCH_interp.json (override with --out=PATH). Unknown --benchmark_*
+// flags are accepted and ignored so the binary can run under the same
+// harness invocation as the google-benchmark suites.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "codegen/generate.hpp"
 #include "exec/interp.hpp"
 #include "ir/gallery.hpp"
-#include "kernels/cholesky.hpp"
-#include "transform/completion.hpp"
+#include "ir/parser.hpp"
+#include "transform/transforms.hpp"
 
 namespace {
 
 using namespace inlt;
 
-void BM_InterpCholesky(benchmark::State& state) {
-  i64 n = state.range(0);
-  Program p = gallery::cholesky();
-  Memory proto;
-  declare_arrays(p, {{"N", n}}, proto);
-  fill_spd(proto, 3);
-  for (auto _ : state) {
-    Memory mem = proto;
-    InterpStats st = interpret(p, {{"N", n}}, mem);
-    benchmark::DoNotOptimize(st.instances);
-  }
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_InterpCholesky)->Arg(16)->Arg(32)->Arg(64)->Unit(
-    benchmark::kMicrosecond);
 
-void BM_InterpCholeskyTransformed(benchmark::State& state) {
-  // The generated left-looking form: guards and cover bounds add
-  // interpretive overhead; this quantifies it.
-  i64 n = state.range(0);
-  Program p = gallery::cholesky();
+Program stencil() {
+  return parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: U(I, J) = U(I - 1, J) + U(I, J - 1)
+  end
+end
+)");
+}
+
+Program skewed_wavefront() {
+  // The classic transformed shape: stencil with J skewed by I — cover
+  // bounds and a wavefront traversal, the generated-code case.
+  Program p = stencil();
   IvLayout layout(p);
   DependenceSet deps = analyze_dependences(layout);
-  IntVec first(7, 0);
-  first[layout.loop_position("L")] = 1;
-  IntMat m = complete_transformation(layout, deps, {first}).matrix;
-  Program t = generate_code(layout, deps, m).program;
-  Memory proto;
-  declare_arrays(p, {{"N", n}}, proto);
-  fill_spd(proto, 3);
-  for (auto _ : state) {
-    Memory mem = proto;
-    InterpStats st = interpret(t, {{"N", n}}, mem);
-    benchmark::DoNotOptimize(st.instances);
-  }
+  return generate_code(layout, deps, loop_skew(layout, "J", "I", 1)).program;
 }
-BENCHMARK(BM_InterpCholeskyTransformed)->Arg(16)->Arg(32)->Arg(64)->Unit(
-    benchmark::kMicrosecond);
 
-void BM_NativeCholeskyReference(benchmark::State& state) {
-  // Same computation in native C++ (kij form) for the overhead ratio.
-  std::size_t n = static_cast<std::size_t>(state.range(0));
-  kernels::Matrix input = kernels::make_spd(n, 3);
-  for (auto _ : state) {
-    kernels::Matrix a = input;
-    kernels::cholesky_kij(a, n);
-    benchmark::DoNotOptimize(a.data());
+struct Kernel {
+  std::string name;
+  Program (*make)();
+};
+
+struct EngineRun {
+  double seconds = 0;  // total measured interpret() time
+  i64 runs = 0;
+  i64 instances = 0;   // per run
+  double ips() const {
+    return seconds > 0 ? static_cast<double>(instances) * runs / seconds : 0;
   }
+};
+
+// Time interpret() on copies of `proto` until the budget is spent
+// (min 3 timed runs, one untimed warmup). Memory copies stay outside
+// the timer.
+EngineRun measure(const Program& p, const std::map<std::string, i64>& params,
+                  const Memory& proto, ExecEngine engine, double budget_s) {
+  InterpOptions opts;
+  opts.engine = engine;
+  EngineRun er;
+  {
+    Memory warm = proto;
+    er.instances = interpret(p, params, warm, opts).instances;
+  }
+  for (;;) {
+    Memory mem = proto;
+    double t0 = now_s();
+    interpret(p, params, mem, opts);
+    er.seconds += now_s() - t0;
+    er.runs += 1;
+    if (er.seconds >= budget_s && er.runs >= 3) break;
+  }
+  return er;
 }
-BENCHMARK(BM_NativeCholeskyReference)->Arg(16)->Arg(32)->Arg(64)->Unit(
-    benchmark::kMicrosecond);
+
+void emit_engine(std::ostream& os, const char* name, const EngineRun& er) {
+  os << "\"" << name << "\":{"
+     << "\"seconds\":" << er.seconds << ",\"runs\":" << er.runs
+     << ",\"instances\":" << er.instances
+     << ",\"instances_per_second\":" << er.ips() << "}";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double budget_s = 0.25;
+  std::string out_path = "BENCH_interp.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      double v = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
+      if (v > 0) budget_s = arg.back() == 'x' ? std::min(0.25, 0.05 * v) : v;
+    }
+    // Other --benchmark_* flags: accepted, ignored.
+  }
+
+  const std::vector<Kernel> kernels = {
+      {"cholesky", &gallery::cholesky},
+      {"lu", &gallery::lu},
+      {"stencil", &stencil},
+      {"skewed_wavefront", &skewed_wavefront},
+  };
+  const std::vector<i64> sizes = {16, 32, 64, 96};
+
+  std::ostringstream js;
+  js << "{\"benchmark\":\"bench_interp\",\"kernels\":[";
+  for (size_t k = 0; k < kernels.size(); ++k) {
+    Program p = kernels[k].make();
+    if (k) js << ",";
+    js << "{\"name\":\"" << kernels[k].name << "\",\"sizes\":[";
+    double largest_speedup = 0;
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      std::map<std::string, i64> params{{"N", sizes[s]}};
+      Memory proto;
+      declare_arrays(p, params, proto);
+      fill_spd(proto, 3);
+
+      EngineRun walker =
+          measure(p, params, proto, ExecEngine::kAstWalker, budget_s);
+      EngineRun vm = measure(p, params, proto, ExecEngine::kVm, budget_s);
+      double speedup = walker.ips() > 0 ? vm.ips() / walker.ips() : 0;
+      largest_speedup = speedup;  // sizes ascend; last one wins
+
+      std::printf("%-18s N=%3lld %10lld inst | walker %12.0f inst/s | "
+                  "vm %12.0f inst/s | %6.2fx\n",
+                  kernels[k].name.c_str(), static_cast<long long>(sizes[s]),
+                  static_cast<long long>(vm.instances), walker.ips(),
+                  vm.ips(), speedup);
+
+      if (s) js << ",";
+      js << "{\"n\":" << sizes[s] << ",";
+      emit_engine(js, "walker", walker);
+      js << ",";
+      emit_engine(js, "vm", vm);
+      js << ",\"speedup\":" << speedup << "}";
+    }
+    js << "],\"speedup_at_largest\":" << largest_speedup << "}";
+  }
+  js << "]}\n";
+
+  std::ofstream out(out_path);
+  out << js.str();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

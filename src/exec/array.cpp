@@ -14,7 +14,9 @@ DenseArray::DenseArray(std::vector<i64> lo, std::vector<i64> hi)
   for (int d = static_cast<int>(lo_.size()) - 1; d >= 0; --d) {
     INLT_CHECK_MSG(hi_[d] >= lo_[d], "array dimension has empty range");
     strides_[d] = total;
-    total = checked_mul(total, hi_[d] - lo_[d] + 1);
+    // Extent itself is overflow-checked: [lo, hi] can span nearly the
+    // whole i64 range when a probe ran with absurd parameter values.
+    total = checked_mul(total, checked_add(checked_sub(hi_[d], lo_[d]), 1));
   }
   data_.assign(static_cast<size_t>(total), 0.0);
 }

@@ -24,6 +24,12 @@ class DenseArray {
   int rank() const { return static_cast<int>(lo_.size()); }
   i64 lo(int d) const { return lo_[d]; }
   i64 hi(int d) const { return hi_[d]; }
+  /// Row-major element stride of dimension d (innermost is 1).
+  i64 stride(int d) const { return strides_[d]; }
+
+  /// Raw storage, for execution engines that precompute flat offsets;
+  /// element order matches for_each_index.
+  double* raw_data() { return data_.data(); }
 
   double get(const std::vector<i64>& idx) const;
   void set(const std::vector<i64>& idx, double v);

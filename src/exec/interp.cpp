@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <cstring>
 
+#include "exec/ufhash.hpp"
+#include "exec/vm.hpp"
 #include "support/check.hpp"
 
 namespace inlt {
@@ -13,19 +14,10 @@ namespace {
 
 using Env = std::map<std::string, i64>;
 
-// Deterministic "random" double in [0,1) from a 64-bit state.
-double hash_to_unit(std::uint64_t h) {
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
-}
-
-std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-  return a * 0x9e3779b97f4a7c15ULL + b + (a << 6) + (a >> 2);
-}
+// Local aliases for the shared hash primitives (exec/ufhash.hpp);
+// the VM inlines the identical definitions.
+constexpr auto hash_to_unit = uf_hash_to_unit;
+constexpr auto mix = uf_mix;
 
 double eval_scalar(const ScalarExpr& e, const Env& env, const Memory& mem) {
   switch (e.op) {
@@ -65,13 +57,8 @@ double eval_scalar(const ScalarExpr& e, const Env& env, const Memory& mem) {
       // the enclosing loop environment, so transformed programs
       // evaluating the same dynamic instance get the same value.
       std::uint64_t h = std::hash<std::string>{}(e.name);
-      for (const auto& a : e.args) {
-        double v = eval_scalar(*a, env, mem);
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(v));
-        std::memcpy(&bits, &v, sizeof(bits));
-        h = mix(h, bits);
-      }
+      for (const auto& a : e.args)
+        h = mix(h, uf_double_bits(eval_scalar(*a, env, mem)));
       return hash_to_unit(h);
     }
   }
@@ -128,6 +115,12 @@ struct Runner {
 
 InterpStats interpret(const Program& p, const std::map<std::string, i64>& params,
                       Memory& mem, const InterpOptions& opts) {
+  // The VM produces no per-access events, so an installed observer
+  // forces the reference walker regardless of the requested engine.
+  if (opts.engine == ExecEngine::kVm && !opts.observer) {
+    VmProgram vm(p, params, mem);
+    return vm.run(opts);
+  }
   Runner r{opts, mem, {}};
   Env env = params;
   for (const NodePtr& root : p.roots()) r.run(*root, env);
@@ -136,56 +129,11 @@ InterpStats interpret(const Program& p, const std::map<std::string, i64>& params
 
 void declare_arrays(const Program& p, const std::map<std::string, i64>& params,
                     Memory& mem) {
-  // Dry-run the loop structure, recording per-array per-dimension
-  // subscript extremes.
-  struct Range {
-    std::vector<i64> lo, hi;
-    bool init = false;
-  };
-  std::map<std::string, Range> ranges;
-  auto note = [&](const std::string& array, const std::vector<i64>& idx) {
-    Range& r = ranges[array];
-    if (!r.init) {
-      r.lo = r.hi = idx;
-      r.init = true;
-      return;
-    }
-    INLT_CHECK_MSG(r.lo.size() == idx.size(),
-                   "array " + array + " used with inconsistent rank");
-    for (size_t d = 0; d < idx.size(); ++d) {
-      r.lo[d] = std::min(r.lo[d], idx[d]);
-      r.hi[d] = std::max(r.hi[d], idx[d]);
-    }
-  };
-
-  std::function<void(const Node&, std::map<std::string, i64>&)> dry =
-      [&](const Node& n, std::map<std::string, i64>& env) {
-        for (const Guard& g : n.guards())
-          if (!g.holds(env)) return;
-        if (n.is_stmt()) {
-          for (const ArrayAccess& a : n.stmt_data().accesses()) {
-            std::vector<i64> idx;
-            for (const AffineExpr& s : a.subscripts)
-              idx.push_back(s.eval(env));
-            note(a.array, idx);
-          }
-          return;
-        }
-        i64 lo = n.lower().eval_lower(env);
-        i64 hi = n.upper().eval_upper(env);
-        for (i64 v = lo; v <= hi; v += n.step()) {
-          env[n.var()] = v;
-          for (const NodePtr& c : n.children()) dry(*c, env);
-          env.erase(n.var());
-        }
-      };
-  std::map<std::string, i64> env = params;
-  for (const NodePtr& root : p.roots()) dry(*root, env);
-
-  for (auto& [name, r] : ranges) {
+  // Probe subscript extremes with the VM (vm.hpp): overflow-checked
+  // and with leaf loops collapsed to their endpoint iterations.
+  for (auto& [name, r] : VmProgram::probe_ranges(p, params)) {
     if (mem.has(name)) continue;
-    INLT_CHECK(r.init);
-    mem.declare(name, r.lo, r.hi);
+    mem.declare(name, std::move(r.lo), std::move(r.hi));
   }
 }
 

@@ -26,12 +26,24 @@ struct AccessEvent {
   bool is_write = false;
 };
 
+/// Which execution engine interpret() uses. Both produce bit-identical
+/// results (memory state, InterpStats, the uninterpreted-function
+/// values); the VM is roughly an order of magnitude faster.
+enum class ExecEngine {
+  kVm,         ///< compile to bytecode and run it (exec/vm.hpp)
+  kAstWalker,  ///< recursive tree walk (reference semantics)
+};
+
 struct InterpOptions {
   /// Bound on executed statement instances (runaway guard).
   i64 max_instances = 50'000'000;
   /// Optional access observer (drives the dependence-order oracle in
-  /// exec/trace.hpp). Reads are reported before the write.
+  /// exec/trace.hpp). Reads are reported before the write. Installing
+  /// an observer forces the AST walker: the VM does not materialize
+  /// per-access events, and the oracle needs their exact order.
   std::function<void(const AccessEvent&)> observer;
+  /// Engine selection; ignored (walker used) when `observer` is set.
+  ExecEngine engine = ExecEngine::kVm;
 };
 
 struct InterpStats {

@@ -1,0 +1,38 @@
+// The deterministic value function for uninterpreted functions.
+//
+// Both execution engines (the AST walker in interp.cpp and the bytecode
+// VM in vm.cpp) must assign f(args...) the exact same double, bit for
+// bit, or differential verification of the engines themselves would
+// drown in false mismatches. The shared definition lives here.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace inlt {
+
+/// Deterministic "random" double in [0,1) from a 64-bit state
+/// (SplitMix-style finalizer).
+inline double uf_hash_to_unit(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Order-dependent combiner (boost::hash_combine shape).
+inline std::uint64_t uf_mix(std::uint64_t a, std::uint64_t b) {
+  return a * 0x9e3779b97f4a7c15ULL + b + (a << 6) + (a >> 2);
+}
+
+/// The bit pattern an argument value contributes to the hash.
+inline std::uint64_t uf_double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace inlt

@@ -22,6 +22,10 @@ struct VerifyResult {
   double max_diff = 0.0;
   i64 src_instances = 0;
   i64 dst_instances = 0;
+  /// Non-empty when the candidate failed to execute at all (out of
+  /// bounds, instance budget, overflow) — only VerifyReference::check
+  /// captures errors; verify_equivalence propagates them.
+  std::string error;
 
   std::string to_string() const;
 };
@@ -33,6 +37,36 @@ VerifyResult verify_equivalence(const Program& source,
                                 const std::map<std::string, i64>& params,
                                 FillKind fill = FillKind::kSpd,
                                 unsigned seed = 1,
-                                double tolerance = 1e-9);
+                                double tolerance = 1e-9,
+                                ExecEngine engine = ExecEngine::kVm);
+
+/// The source side of verify_equivalence, computed once: declared and
+/// filled initial memory plus the source program's final state. Checks
+/// of candidate programs against it are independent and thread-safe
+/// (each check runs on its own copy of the initial memory), which is
+/// what lets full-mode search verify candidates on worker threads.
+class VerifyReference {
+ public:
+  VerifyReference(const Program& source,
+                  const std::map<std::string, i64>& params,
+                  FillKind fill = FillKind::kSpd, unsigned seed = 1,
+                  double tolerance = 1e-9,
+                  ExecEngine engine = ExecEngine::kVm);
+
+  /// Verify one candidate. Execution failures (bounds, budget,
+  /// overflow) are captured in VerifyResult::error, not thrown — a
+  /// wrong candidate must not abort a search over many.
+  VerifyResult check(const Program& transformed) const;
+
+  const std::map<std::string, i64>& params() const { return params_; }
+
+ private:
+  std::map<std::string, i64> params_;
+  double tolerance_;
+  ExecEngine engine_;
+  Memory initial_;  ///< declared from the source, filled
+  Memory final_;    ///< source-final state
+  i64 src_instances_ = 0;
+};
 
 }  // namespace inlt

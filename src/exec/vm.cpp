@@ -1,0 +1,321 @@
+// VmProgram execution (see vm.hpp for the design; compile.cpp builds
+// the tables).
+//
+// run() is the hot path of semantic verification: a flat dispatch loop
+// over control instructions with no recursion, no name lookups and no
+// per-access subscript evaluation — fast accesses ride incrementally
+// maintained flat offsets whose bounds were checked at loop entry.
+// Everything still observable (InterpStats, guard semantics, iteration
+// order, the uninterpreted-function hash) matches the AST walker bit
+// for bit.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "exec/ufhash.hpp"
+#include "exec/vm.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "support/trace.hpp"
+
+namespace inlt {
+
+i64 VmProgram::eval(const LinExpr& e) const {
+  i64 v = e.constant;
+  for (const auto& [slot, coef] : e.terms)
+    v = checked_add(v, checked_mul(coef, env_[slot]));
+  return v;
+}
+
+i64 VmProgram::eval_lower(const CBound& b) const {
+  bool first = true;
+  i64 best = 0;
+  for (const CBoundTerm& t : b.terms) {
+    i64 v = ceil_div(eval(t.expr), t.den);
+    best = first ? v : (b.tight ? std::max(best, v) : std::min(best, v));
+    first = false;
+  }
+  return best;
+}
+
+i64 VmProgram::eval_upper(const CBound& b) const {
+  bool first = true;
+  i64 best = 0;
+  for (const CBoundTerm& t : b.terms) {
+    i64 v = floor_div(eval(t.expr), t.den);
+    best = first ? v : (b.tight ? std::min(best, v) : std::max(best, v));
+    first = false;
+  }
+  return best;
+}
+
+bool VmProgram::guards_hold(const GuardSet& g) const {
+  for (int i = g.begin; i != g.end; ++i) {
+    const CGuard& cg = guards_[i];
+    i64 v = eval(cg.expr);
+    switch (cg.kind) {
+      case Guard::Kind::kEqZero:
+        if (v != 0) return false;
+        break;
+      case Guard::Kind::kGeZero:
+        if (v < 0) return false;
+        break;
+      case Guard::Kind::kDivisible:
+        if (floor_mod(v, cg.modulus) != 0) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void VmProgram::bounds_fail(const Access& a, int dim, i64 idx) const {
+  const ArrayInfo& arr = arrays_[a.array];
+  throw Error("array index out of bounds: " + arr.name + " dim " +
+              std::to_string(dim) + " index " + std::to_string(idx) +
+              " not in [" + std::to_string(arr.lo[dim]) + ", " +
+              std::to_string(arr.hi[dim]) + "]");
+}
+
+// Initialize offset registers and run the hoisted endpoint bounds
+// checks for one entry of `loop` (env already holds v = lo).
+void VmProgram::enter_loop(const LoopInfo& loop, i64 lo, i64 hi) {
+  for (int i = loop.init_begin; i != loop.init_end; ++i) {
+    const Access& a = accesses_[inits_[i].access];
+    offs_[a.reg] = eval(a.offset);
+  }
+  if (loop.check_begin == loop.check_end) return;
+  // Value of the final executed iteration; every per-dim subscript is
+  // affine (monotonic) in the loop variable, so in-range endpoints
+  // imply in-range everywhere between.
+  i64 last = checked_add(
+      lo, checked_mul(floor_div(checked_sub(hi, lo), loop.step), loop.step));
+  i64 span = checked_sub(last, lo);
+  for (int i = loop.check_begin; i != loop.check_end; ++i) {
+    const EntryCheck& ck = checks_[i];
+    const Access& a = accesses_[ck.access];
+    const ArrayInfo& arr = arrays_[a.array];
+    i64 first = eval(dims_[a.first_dim + ck.dim].expr);
+    i64 final = checked_add(first, checked_mul(ck.coef, span));
+    i64 mn = std::min(first, final), mx = std::max(first, final);
+    if (mn < arr.lo[ck.dim]) bounds_fail(a, ck.dim, mn);
+    if (mx > arr.hi[ck.dim]) bounds_fail(a, ck.dim, mx);
+  }
+}
+
+// Exact, fully checked offsets for one execution of a slow (guarded or
+// loop-less) statement.
+void VmProgram::slow_access_offsets(const StmtInfo& s) {
+  for (int i = s.first_access; i != s.first_access + s.naccesses; ++i) {
+    const Access& a = accesses_[i];
+    const ArrayInfo& arr = arrays_[a.array];
+    INLT_CHECK_MSG(arr.data != nullptr, "undeclared array " + arr.name);
+    i64 off = 0;
+    for (int d = 0; d < a.ndims; ++d) {
+      i64 idx = eval(dims_[a.first_dim + d].expr);
+      if (idx < arr.lo[d] || idx > arr.hi[d]) bounds_fail(a, d, idx);
+      off = checked_add(off, checked_mul(checked_sub(idx, arr.lo[d]),
+                                         arr.strides[d]));
+    }
+    offs_[a.reg] = off;
+  }
+}
+
+void VmProgram::exec_stmt(const StmtInfo& s, InterpStats& st,
+                          i64 max_instances) {
+  if (!s.fast) slow_access_offsets(s);
+  double v = 0.0;
+  if (s.result_reg >= 0) {
+    for (int i = s.scalar_begin; i != s.scalar_end; ++i) {
+      const SInst& si = scode_[i];
+      switch (si.op) {
+        case SOp::kConst:
+          sregs_[si.dst] = si.imm;
+          break;
+        case SOp::kVar:
+          sregs_[si.dst] = static_cast<double>(env_[si.payload]);
+          break;
+        case SOp::kAffine:
+          sregs_[si.dst] = static_cast<double>(eval(lins_[si.payload]));
+          break;
+        case SOp::kLoad: {
+          const Access& a = accesses_[si.payload];
+          sregs_[si.dst] = arrays_[a.array].data[offs_[a.reg]];
+          break;
+        }
+        case SOp::kAdd:
+          sregs_[si.dst] = sregs_[si.a] + sregs_[si.b];
+          break;
+        case SOp::kSub:
+          sregs_[si.dst] = sregs_[si.a] - sregs_[si.b];
+          break;
+        case SOp::kMul:
+          sregs_[si.dst] = sregs_[si.a] * sregs_[si.b];
+          break;
+        case SOp::kDiv:
+          sregs_[si.dst] = sregs_[si.a] / sregs_[si.b];
+          break;
+        case SOp::kNeg:
+          sregs_[si.dst] = -sregs_[si.a];
+          break;
+        case SOp::kSqrt:
+          sregs_[si.dst] = std::sqrt(sregs_[si.a]);
+          break;
+        case SOp::kFunc: {
+          const FuncSite& f = func_sites_[si.payload];
+          std::uint64_t h = f.name_hash;
+          for (int j = f.args_begin; j != f.args_end; ++j)
+            h = uf_mix(h, uf_double_bits(sregs_[func_args_[j]]));
+          sregs_[si.dst] = uf_hash_to_unit(h);
+          break;
+        }
+      }
+    }
+    v = sregs_[s.result_reg];
+  }
+  const Access& w = accesses_[s.first_access];
+  arrays_[w.array].data[offs_[w.reg]] = v;
+  ++st.instances;
+  INLT_CHECK_MSG(st.instances <= max_instances,
+                 "interpreter instance budget exceeded");
+}
+
+InterpStats VmProgram::run(const InterpOptions& opts) {
+  ScopedSpan span("vm.run", "exec");
+  ScopedTimer timer("exec.vm.run_ns");
+  InterpStats st;
+  const i64 max_instances = opts.max_instances;
+  size_t pc = 0;
+  for (;;) {
+    const CInst& in = code_[pc];
+    switch (in.op) {
+      case COp::kGuards:
+        if (guards_hold(guard_sets_[in.arg])) {
+          ++pc;
+        } else {
+          ++st.guard_failures;
+          pc = static_cast<size_t>(in.jump);
+        }
+        break;
+      case COp::kLoopEnter: {
+        const LoopInfo& L = loops_[in.arg];
+        i64 lo = eval_lower(L.lower);
+        i64 hi = eval_upper(L.upper);
+        if (lo > hi) {
+          pc = static_cast<size_t>(in.jump);
+          break;
+        }
+        env_[L.slot] = lo;
+        hi_[in.arg] = hi;
+        enter_loop(L, lo, hi);
+        ++st.loop_iterations;
+        ++pc;
+        break;
+      }
+      case COp::kLoopNext: {
+        const LoopInfo& L = loops_[in.arg];
+        i64 v = checked_add(env_[L.slot], L.step);
+        if (v > hi_[in.arg]) {
+          ++pc;  // loop done; falls out past the back-edge
+          break;
+        }
+        env_[L.slot] = v;
+        ++st.loop_iterations;
+        for (int i = L.adv_begin; i != L.adv_end; ++i)
+          offs_[advances_[i].reg] += advances_[i].delta;
+        pc = static_cast<size_t>(in.jump);
+        break;
+      }
+      case COp::kStmt:
+        exec_stmt(stmts_[in.arg], st, max_instances);
+        ++pc;
+        break;
+      case COp::kHalt: {
+        Stats::global().add("exec.vm.runs");
+        Stats::global().add("exec.vm.instances", st.instances);
+        return st;
+      }
+    }
+  }
+}
+
+void VmProgram::probe_note(ProbeState& ps, const Access& a) {
+  ProbeState::ArrayRange& r = ps.ranges[a.array];
+  if (!r.init) {
+    r.lo.resize(a.ndims);
+    r.hi.resize(a.ndims);
+    for (int d = 0; d < a.ndims; ++d)
+      r.lo[d] = r.hi[d] = eval(dims_[a.first_dim + d].expr);
+    r.init = true;
+    return;
+  }
+  for (int d = 0; d < a.ndims; ++d) {
+    i64 idx = eval(dims_[a.first_dim + d].expr);
+    r.lo[d] = std::min(r.lo[d], idx);
+    r.hi[d] = std::max(r.hi[d], idx);
+  }
+}
+
+// The probe interpreter: same control flow as run() but statements
+// only record subscript extremes, and a loop whose children are all
+// unguarded statements is collapsed to its two endpoint iterations
+// (affine subscripts are monotonic in the loop variable, so endpoints
+// bound the whole range) — array sizing drops an order of complexity.
+void VmProgram::run_probe(ProbeState& ps) {
+  size_t pc = 0;
+  for (;;) {
+    const CInst& in = code_[pc];
+    switch (in.op) {
+      case COp::kGuards:
+        pc = guards_hold(guard_sets_[in.arg]) ? pc + 1
+                                              : static_cast<size_t>(in.jump);
+        break;
+      case COp::kLoopEnter: {
+        const LoopInfo& L = loops_[in.arg];
+        i64 lo = eval_lower(L.lower);
+        i64 hi = eval_upper(L.upper);
+        if (lo > hi) {
+          pc = static_cast<size_t>(in.jump);
+          break;
+        }
+        if (L.probe_collapse) {
+          i64 last = checked_add(
+              lo,
+              checked_mul(floor_div(checked_sub(hi, lo), L.step), L.step));
+          for (i64 v : {lo, last}) {
+            env_[L.slot] = v;
+            for (int i = L.probe_begin; i != L.probe_end; ++i)
+              probe_note(ps, accesses_[i]);
+          }
+          pc = static_cast<size_t>(in.jump);
+          break;
+        }
+        env_[L.slot] = lo;
+        hi_[in.arg] = hi;
+        ++pc;
+        break;
+      }
+      case COp::kLoopNext: {
+        const LoopInfo& L = loops_[in.arg];
+        i64 v = checked_add(env_[L.slot], L.step);
+        if (v > hi_[in.arg]) {
+          ++pc;
+        } else {
+          env_[L.slot] = v;
+          pc = static_cast<size_t>(in.jump);
+        }
+        break;
+      }
+      case COp::kStmt: {
+        const StmtInfo& s = stmts_[in.arg];
+        for (int i = s.first_access; i != s.first_access + s.naccesses; ++i)
+          probe_note(ps, accesses_[i]);
+        ++pc;
+        break;
+      }
+      case COp::kHalt:
+        return;
+    }
+  }
+}
+
+}  // namespace inlt

@@ -1,0 +1,253 @@
+// Bytecode execution engine for inlt programs.
+//
+// The AST walker in interp.cpp re-walks every ScalarExpr, re-evaluates
+// every affine subscript through std::map environments and resolves
+// every array by name on every access — fine for unit tests, dominant
+// for full-mode search once legality itself is fast. VmProgram compiles
+// a (Program, parameter binding, Memory) triple once:
+//
+//  * affine subscripts are lowered to a flat base offset plus one
+//    stride per enclosing loop; the running offset of each access is a
+//    register that is initialized when its owning loop is entered and
+//    *incremented* on every loop advance — no per-access subscript
+//    evaluation at all on the hot path;
+//  * arrays are resolved once to raw double* with row-major strides;
+//    for unguarded statements the per-dimension bounds checks are
+//    hoisted to the owning loop's entry (both range endpoints of every
+//    affine subscript are checked once per entry — exact, because an
+//    affine function of the loop variable is monotonic), guarded
+//    statements keep exact per-access checks so wrong transformations
+//    still fail loudly;
+//  * statement bodies become linear register bytecode; the
+//    uninterpreted-function hash (exec/ufhash.hpp) is inlined;
+//  * control flow is a flat instruction array driven by a program
+//    counter — no recursion, loop state lives in per-loop slots.
+//
+// Results are bit-identical to the AST walker (the differential suite
+// in tests/exec/test_vm.cpp enforces this), including InterpStats.
+// All compile-time constant folding (parameter substitution, stride
+// multiplication, advance deltas) uses checked_int arithmetic, so
+// absurd parameter values fail with OverflowError instead of wrapping.
+//
+// probe_ranges() is the same machinery in "probe" mode: it sizes
+// arrays for declare_arrays without touching memory, and collapses
+// leaf loops whose children are all unguarded statements into two
+// endpoint evaluations per entry — declare_arrays drops from the full
+// iteration count to the iteration count of the outer nest.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/interp.hpp"
+
+namespace inlt {
+
+class VmProgram {
+ public:
+  /// Compile `p` for the given parameter binding and bind array
+  /// references to the (pre-declared) arrays of `mem`. Throws on
+  /// unbound variables, undeclared arrays, inconsistent array ranks,
+  /// or compile-time arithmetic overflow.
+  VmProgram(const Program& p, const std::map<std::string, i64>& params,
+            Memory& mem);
+
+  /// Execute. Only `max_instances` is consulted from `opts` — callers
+  /// with an observer must use the AST walker (interpret() dispatches
+  /// automatically).
+  InterpStats run(const InterpOptions& opts = {});
+
+  /// Re-point array references at another Memory with identical
+  /// shapes (e.g. a fresh copy of the same prototype); everything
+  /// compiled stays valid.
+  void rebind(Memory& mem);
+
+  // -- introspection (tests, benchmarks) --
+  /// Accesses whose bounds checks were hoisted to loop entry.
+  i64 hoisted_accesses() const { return hoisted_accesses_; }
+  /// Accesses that kept exact per-execution checks.
+  i64 checked_accesses() const { return checked_accesses_; }
+
+  /// Per-array subscript extremes over the program's execution, the
+  /// sizing information declare_arrays needs. Pure: touches no Memory.
+  struct Range {
+    std::vector<i64> lo, hi;
+  };
+  static std::map<std::string, Range> probe_ranges(
+      const Program& p, const std::map<std::string, i64>& params);
+
+ private:
+  friend class VmCompiler;  // compile.cpp builds the tables below
+
+  // Compiled affine expression over loop slots; parameter terms are
+  // folded into the constant at compile time.
+  struct LinExpr {
+    i64 constant = 0;
+    std::vector<std::pair<int, i64>> terms;  // (env slot, coefficient)
+  };
+
+  struct CBoundTerm {
+    LinExpr expr;
+    i64 den = 1;
+  };
+  struct CBound {
+    std::vector<CBoundTerm> terms;
+    bool tight = true;
+  };
+
+  struct CGuard {
+    Guard::Kind kind = Guard::Kind::kEqZero;
+    LinExpr expr;
+    i64 modulus = 1;
+  };
+  struct GuardSet {
+    int begin = 0, end = 0;  // into guards_
+  };
+
+  struct ArrayInfo {
+    std::string name;
+    int rank = 0;
+    // Bound at resolve time (exec mode only):
+    double* data = nullptr;
+    std::vector<i64> lo, hi, strides;
+  };
+
+  // One subscript dimension of one access, kept for bounds checks and
+  // probe mode.
+  struct AccessDim {
+    LinExpr expr;
+  };
+
+  struct Access {
+    int array = -1;
+    int first_dim = 0, ndims = 0;  // into dims_
+    // Exec mode: flat offset expression (array strides and origins
+    // folded in); the access's running offset lives in offs_[reg].
+    LinExpr offset;
+    int reg = -1;
+    // Fast accesses: offs_[reg] += step_delta on owner-loop advance.
+    i64 step_delta = 0;
+  };
+
+  struct StmtInfo {
+    int first_access = 0, naccesses = 0;  // accesses_; [0] is the write
+    int scalar_begin = 0, scalar_end = 0;  // into scode_
+    int result_reg = -1;                   // -1: statement has no rhs
+    // Fast statements (unguarded, directly inside a loop) rely on
+    // loop-entry offset initialization, advance deltas and hoisted
+    // checks; slow statements recompute and check every access.
+    bool fast = false;
+  };
+
+  struct EntryInit {
+    int access = 0;  // offs_[access.reg] = eval(access.offset)
+  };
+  struct EntryCheck {
+    int access = 0;
+    int dim = 0;     // which dimension of the access
+    i64 coef = 0;    // subscript coefficient of the owning loop's var
+  };
+  struct Advance {
+    int reg = 0;
+    i64 delta = 0;
+  };
+
+  struct LoopInfo {
+    int slot = 0;
+    i64 step = 1;
+    CBound lower, upper;
+    int init_begin = 0, init_end = 0;    // into inits_
+    int check_begin = 0, check_end = 0;  // into checks_
+    int adv_begin = 0, adv_end = 0;      // into advances_
+    // Probe mode: all children are unguarded statements, so one
+    // endpoint evaluation per entry covers the whole iteration range.
+    bool probe_collapse = false;
+    int probe_begin = 0, probe_end = 0;  // collapsed accesses (accesses_)
+  };
+
+  enum class COp : unsigned char {
+    kGuards,     // arg: guard set; jump: target on failure
+    kLoopEnter,  // arg: loop; jump: loop exit (past kLoopNext)
+    kLoopNext,   // arg: loop; jump: body start
+    kStmt,       // arg: statement
+    kHalt,
+  };
+  struct CInst {
+    COp op = COp::kHalt;
+    int arg = 0;
+    int jump = 0;
+  };
+
+  enum class SOp : unsigned char {
+    kConst,   // dst <- imm
+    kVar,     // dst <- double(env[payload])
+    kAffine,  // dst <- double(eval(lins_[payload]))
+    kLoad,    // dst <- array data at accesses_[payload]'s offset
+    kAdd, kSub, kMul, kDiv,  // dst <- a op b
+    kNeg, kSqrt,             // dst <- op a
+    kFunc,    // dst <- uf hash of func_sites_[payload] over arg regs
+  };
+  struct SInst {
+    SOp op = SOp::kConst;
+    int dst = 0, a = 0, b = 0;
+    double imm = 0.0;
+    i64 payload = 0;
+  };
+  struct FuncSite {
+    std::uint64_t name_hash = 0;
+    int args_begin = 0, args_end = 0;  // into func_args_ (register ids)
+  };
+
+  VmProgram() = default;
+
+  i64 eval(const LinExpr& e) const;  // checked
+  i64 eval_lower(const CBound& b) const;
+  i64 eval_upper(const CBound& b) const;
+  bool guards_hold(const GuardSet& g) const;
+  void enter_loop(const LoopInfo& loop, i64 lo, i64 hi);
+  void exec_stmt(const StmtInfo& s, InterpStats& st, i64 max_instances);
+  void slow_access_offsets(const StmtInfo& s);
+  [[noreturn]] void bounds_fail(const Access& a, int dim, i64 idx) const;
+
+  // -- compiled tables --
+  std::vector<CInst> code_;
+  std::vector<LoopInfo> loops_;
+  std::vector<StmtInfo> stmts_;
+  std::vector<GuardSet> guard_sets_;
+  std::vector<CGuard> guards_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<Access> accesses_;
+  std::vector<AccessDim> dims_;
+  std::vector<EntryInit> inits_;
+  std::vector<EntryCheck> checks_;
+  std::vector<Advance> advances_;
+  std::vector<SInst> scode_;
+  std::vector<LinExpr> lins_;      // kAffine payloads
+  std::vector<FuncSite> func_sites_;
+  std::vector<int> func_args_;
+  int num_slots_ = 0;
+  int max_sregs_ = 0;
+  i64 hoisted_accesses_ = 0;
+  i64 checked_accesses_ = 0;
+
+  // -- runtime state --
+  std::vector<i64> env_;    // loop variable values, by slot
+  std::vector<i64> hi_;     // per active loop: current upper bound
+  std::vector<i64> last_;   // per active loop: last executed value
+  std::vector<i64> offs_;   // per access: running flat offset
+  std::vector<double> sregs_;
+
+  // Probe-mode accumulator, parallel to arrays_.
+  struct ProbeState {
+    struct ArrayRange {
+      std::vector<i64> lo, hi;
+      bool init = false;
+    };
+    std::vector<ArrayRange> ranges;
+  };
+  void run_probe(ProbeState& ps);
+  void probe_note(ProbeState& ps, const Access& a);
+};
+
+}  // namespace inlt

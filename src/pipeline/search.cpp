@@ -1,8 +1,10 @@
 #include "pipeline/search.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "dependence/direction.hpp"
 #include "support/check.hpp"
@@ -182,6 +184,15 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
           ? &Stats::global().histogram("search.candidate_ns")
           : nullptr;
 
+  // Survivors of the legality walk, in enumeration order, evaluated
+  // after the walk (the IncrementalLegality engine is stateful, so the
+  // walk itself stays sequential; everything per-candidate is not).
+  struct Pending {
+    i64 index;
+    IntMat matrix;
+  };
+  std::vector<Pending> pending;
+
   i64 index = 0;
   i64 next_report = sopts.progress ? sopts.progress_interval
                                    : std::numeric_limits<i64>::max();
@@ -215,8 +226,8 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
         return;
       }
       ++out.stats.evaluated;
-      CandidateResult r;
       if (sopts.mode == SearchMode::kLegalityOnly) {
+        CandidateResult r;
         if (prune) {
           // The engine's full-depth verdict IS the hull legality test
           // (test_incremental proves the equivalence) — no pipeline
@@ -231,34 +242,29 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
           r.legal =
               check_legality_exact(*layout_, m, rec, opts_.codegen.pad).legal();
         }
-      } else {
-        ScopedSpan cs("search.candidate", "search");
-        const auto c0 = std::chrono::steady_clock::now();
-        r = evaluate_impl(m);
-        cand_hist->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now() - c0)
-                              .count());
-        if (cs.active()) {
-          cs.arg("index", index);
-          cs.arg("legal", r.legal);
+        if (r.legal) {
+          ++out.stats.legal;
+          out.hits.push_back(SearchHit{index, m, std::move(r)});
+          if (sopts.sink) sopts.sink(out.hits.back());
+        } else {
+          ++out.stats.illegal_evaluated;
+          // Attribute through the first localized legality diagnostic
+          // (codegen-stage failures carry no dependence provenance).
+          for (const Diagnostic& dg : r.legality.diagnostics) {
+            if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
+            int slot =
+                dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot.size())
+                    ? pos_to_slot[dg.row]
+                    : -1;
+            attribute(dg.dep_index, slot < 0 ? nslots : slot, 1);
+            break;
+          }
         }
-      }
-      if (r.legal) {
-        ++out.stats.legal;
-        out.hits.push_back(SearchHit{index, m, std::move(r)});
-        if (sopts.sink) sopts.sink(out.hits.back());
       } else {
-        ++out.stats.illegal_evaluated;
-        // Attribute through the first localized legality diagnostic
-        // (codegen-stage failures carry no dependence provenance).
-        for (const Diagnostic& dg : r.legality.diagnostics) {
-          if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
-          int slot = dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot.size())
-                         ? pos_to_slot[dg.row]
-                         : -1;
-          attribute(dg.dep_index, slot < 0 ? nslots : slot, 1);
-          break;
-        }
+        // Full mode: the pipeline work (codegen + simplify + optional
+        // semantic verification) is independent per candidate — defer
+        // it and run the batch on worker threads after the walk.
+        pending.push_back(Pending{index, m});
       }
       ++index;
       if (index >= next_report) {
@@ -297,6 +303,82 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
     }
   };
   rec(0);
+
+  // Deferred evaluation stage (full mode): codegen + simplify +
+  // optional semantic verification for every survivor, fanned over the
+  // session's worker threads. Results are merged back in enumeration
+  // order, so hits, stats and rejection provenance are bit-identical
+  // to the sequential path regardless of thread count.
+  if (!pending.empty()) {
+    ScopedSpan eval_span("search.evaluate", "search");
+    std::optional<VerifyReference> ref;
+    if (!sopts.verify_params.empty())
+      ref.emplace(*program_, sopts.verify_params, sopts.verify_fill,
+                  sopts.verify_seed, /*tolerance=*/1e-9, sopts.verify_engine);
+    std::vector<CandidateResult> results(pending.size());
+    auto eval_one = [&](size_t i) {
+      ScopedSpan cs("search.candidate", "search");
+      const auto c0 = std::chrono::steady_clock::now();
+      CandidateResult r = evaluate_impl(pending[i].matrix);
+      if (r.legal && ref && r.program) r.verify = ref->check(*r.program);
+      cand_hist->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - c0)
+                            .count());
+      if (cs.active()) {
+        cs.arg("index", pending[i].index);
+        cs.arg("legal", r.legal);
+      }
+      results[i] = std::move(r);
+    };
+    int nthreads =
+        resolve_threads(opts_.threads, opts_.max_threads, pending.size());
+    if (nthreads == 1) {
+      for (size_t i = 0; i < pending.size(); ++i) eval_one(i);
+    } else {
+      std::atomic<size_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= pending.size()) return;
+          eval_one(i);
+        }
+      };
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<size_t>(nthreads));
+      for (int t = 0; t < nthreads; ++t) workers.emplace_back(worker);
+      for (std::thread& t : workers) t.join();
+    }
+    if (eval_span.active()) {
+      eval_span.arg("candidates", static_cast<i64>(pending.size()));
+      eval_span.arg("threads", static_cast<i64>(nthreads));
+    }
+    for (size_t i = 0; i < pending.size(); ++i) {
+      CandidateResult& r = results[i];
+      if (r.legal) {
+        ++out.stats.legal;
+        if (r.verify) {
+          ++out.stats.verified;
+          if (!r.verify->equivalent) ++out.stats.verify_failed;
+        }
+        out.hits.push_back(
+            SearchHit{pending[i].index, pending[i].matrix, std::move(r)});
+        if (sopts.sink) sopts.sink(out.hits.back());
+      } else {
+        ++out.stats.illegal_evaluated;
+        // Attribute through the first localized legality diagnostic
+        // (codegen-stage failures carry no dependence provenance).
+        for (const Diagnostic& dg : r.legality.diagnostics) {
+          if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
+          int slot =
+              dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot.size())
+                  ? pos_to_slot[dg.row]
+                  : -1;
+          attribute(dg.dep_index, slot < 0 ? nslots : slot, 1);
+          break;
+        }
+      }
+    }
+  }
 
   // Final report: done == total, so consumers can close their display.
   if (sopts.progress) emit_progress(index);

@@ -137,6 +137,12 @@ struct SearchStats {
   i64 pruned_candidates = 0;
   /// Interior prefixes whose whole subtree was pruned at once.
   i64 pruned_subtrees = 0;
+  /// Legal candidates semantically verified against the source
+  /// (full mode with SearchOptions::verify_params only).
+  i64 verified = 0;
+  /// Verified candidates whose execution did NOT match the source —
+  /// always 0 unless something upstream (legality, codegen) is wrong.
+  i64 verify_failed = 0;
 
   /// Total candidates classified illegal, evaluated or not.
   i64 illegal() const { return illegal_evaluated + pruned_candidates; }
@@ -173,6 +179,19 @@ struct SearchOptions {
   /// Candidates between progress reports (approximate: a pruned
   /// subtree advances the count in one step). Must be positive.
   i64 progress_interval = 1 << 16;
+  /// Full mode only: when non-empty, semantically verify every legal
+  /// candidate's generated program against the source at these
+  /// parameter bindings (exec/verify.hpp); the outcome lands in
+  /// `CandidateResult::verify` and the `verified` / `verify_failed`
+  /// stats. Verification shares the deferred evaluation stage, so it
+  /// runs on the session's worker threads.
+  std::map<std::string, i64> verify_params;
+  /// Input fill for verification runs.
+  FillKind verify_fill = FillKind::kSpd;
+  /// Seed for verification inputs.
+  unsigned verify_seed = 1;
+  /// Execution engine for verification runs.
+  ExecEngine verify_engine = ExecEngine::kVm;
 };
 
 /// Enumerate the generator's full candidate space in search order —

@@ -10,8 +10,6 @@
 
 namespace inlt {
 
-namespace {
-
 int resolve_threads(int requested, int ceiling, size_t work_items) {
   int n = requested;
   if (n <= 0) {
@@ -24,8 +22,6 @@ int resolve_threads(int requested, int ceiling, size_t work_items) {
   }
   return std::max(1, std::min(n, static_cast<int>(work_items)));
 }
-
-}  // namespace
 
 TransformSession TransformSession::from_source(const std::string& source_text,
                                                SessionOptions opts) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "codegen/generate.hpp"
+#include "exec/verify.hpp"
 #include "linalg/project.hpp"
 #include "support/diag.hpp"
 #include "support/stats.hpp"
@@ -92,7 +93,17 @@ struct CandidateResult {
   std::vector<Diagnostic> diagnostics;
   /// what() of the error that stopped the pipeline, empty otherwise.
   std::string error;
+  /// Semantic verification against the source program; set only by
+  /// full-mode search() when SearchOptions::verify_params is non-empty
+  /// and the candidate generated code.
+  std::optional<VerifyResult> verify;
 };
+
+/// Resolve a worker-thread request against hardware concurrency, an
+/// optional ceiling and the number of work items (the semantics of
+/// SessionOptions::threads / max_threads). Shared by evaluate_all and
+/// the deferred evaluation stage of full-mode search().
+int resolve_threads(int requested, int ceiling, size_t work_items);
 
 class TransformSession {
  public:

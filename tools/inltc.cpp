@@ -20,6 +20,8 @@
 //   reorder PARENT i0 i1 ... | align STMT LOOP k
 //
 // Flags: --verify N   run source and result on N-sized inputs and compare
+//        --engine E   execution engine for --verify runs: vm (default,
+//                     compiled bytecode) or ast (reference tree walker)
 //        --raw        skip the simplification pass
 //        --exact      use the exact ILP legality pipeline
 //        --pad-zero   zero padding instead of diagonal (ablation)
@@ -72,9 +74,11 @@ commands:
   explain   <file> <ops...>        per-dependence legality provenance
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
-flags: --verify N | --raw | --exact | --pad-zero | --stats | --diag-json
-       --threads N | --search | --trace-out F | --trace-summary | --progress
+flags: --verify N | --engine {vm,ast} | --raw | --exact | --pad-zero
+       --stats | --diag-json | --threads N | --search | --trace-out F
+       --trace-summary | --progress
 search flags: --skew-bound B | --skew-depth D | --full
+  (--full --verify N also semantically verifies every legal candidate)
 )";
   std::exit(2);
 }
@@ -97,6 +101,7 @@ std::string read_source(const std::string& path) {
 
 struct Options {
   i64 verify_n = 0;
+  ExecEngine engine = ExecEngine::kVm;  // --engine: verify execution engine
   bool raw = false;
   bool exact = false;
   bool stats = false;
@@ -113,6 +118,13 @@ struct Options {
   std::vector<std::string> args;  // non-flag arguments
 };
 
+ExecEngine parse_engine(const std::string& name) {
+  if (name == "vm") return ExecEngine::kVm;
+  if (name == "ast") return ExecEngine::kAstWalker;
+  std::cerr << "inltc: unknown engine '" << name << "' (expected vm or ast)\n";
+  std::exit(2);
+}
+
 Options parse_flags(int argc, char** argv, int first) {
   Options o;
   for (int i = first; i < argc; ++i) {
@@ -120,6 +132,11 @@ Options parse_flags(int argc, char** argv, int first) {
     if (a == "--verify") {
       if (++i >= argc) usage();
       o.verify_n = std::stoll(argv[i]);
+    } else if (a == "--engine") {
+      if (++i >= argc) usage();
+      o.engine = parse_engine(argv[i]);
+    } else if (a.rfind("--engine=", 0) == 0) {
+      o.engine = parse_engine(a.substr(9));
     } else if (a == "--raw") {
       o.raw = true;
     } else if (a == "--exact") {
@@ -242,7 +259,8 @@ int emit_and_verify(const Program& source, const Program& result,
   std::cout << print_program(result);
   if (opts.verify_n > 0) {
     VerifyResult v =
-        verify_equivalence(source, result, {{"N", opts.verify_n}});
+        verify_equivalence(source, result, {{"N", opts.verify_n}},
+                           FillKind::kSpd, 1, 1e-9, opts.engine);
     TraceCheckResult t =
         check_dependence_order(source, result, {{"N", opts.verify_n}});
     std::cerr << "verify(N=" << opts.verify_n << "): " << v.to_string()
@@ -353,6 +371,10 @@ int main(int argc, char** argv) {
       search_opts.mode =
           opts.full ? SearchMode::kFull : SearchMode::kLegalityOnly;
       if (opts.progress) search_opts.progress = render_progress;
+      if (opts.full && opts.verify_n > 0) {
+        search_opts.verify_params = {{"N", opts.verify_n}};
+        search_opts.verify_engine = opts.engine;
+      }
       SearchResult res = session.search(space, search_opts);
       std::cout << "search space: " << res.stats.candidates_total
                 << " candidates (skew bound " << opts.skew_bound << ", depth "
@@ -361,6 +383,10 @@ int main(int argc, char** argv) {
                 << "  evaluated: " << res.stats.evaluated
                 << "  pruned: " << res.stats.pruned_candidates << " ("
                 << res.stats.pruned_subtrees << " subtrees)\n";
+      if (res.stats.verified > 0)
+        std::cout << "verified: " << res.stats.verified << " (N="
+                  << opts.verify_n << "), mismatches: "
+                  << res.stats.verify_failed << "\n";
       if (res.rejections.rejected > 0)
         std::cout << res.rejections.to_text(deps);
       for (const SearchHit& h : res.hits) {
@@ -371,6 +397,8 @@ int main(int argc, char** argv) {
           for (int d : h.result.legality.unsatisfied) std::cout << " " << d;
           std::cout << "\n";
         }
+        if (h.result.verify)
+          std::cout << "verify: " << h.result.verify->to_string() << "\n";
         if (opts.full && h.result.program)
           std::cout << print_program(*h.result.program);
       }
