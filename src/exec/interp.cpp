@@ -117,7 +117,12 @@ InterpStats interpret(const Program& p, const std::map<std::string, i64>& params
                       Memory& mem, const InterpOptions& opts) {
   // The VM produces no per-access events, so an installed observer
   // forces the reference walker regardless of the requested engine.
-  if (opts.engine == ExecEngine::kVm && !opts.observer) {
+  // The cache probe is VM-only (it rides the resolved flat offsets),
+  // so the two are mutually exclusive.
+  INLT_CHECK_MSG(!(opts.observer && opts.cache_probe),
+                 "cache_probe requires the VM engine; observer forces the "
+                 "AST walker");
+  if ((opts.engine == ExecEngine::kVm || opts.cache_probe) && !opts.observer) {
     VmProgram vm(p, params, mem);
     return vm.run(opts);
   }

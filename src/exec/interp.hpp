@@ -9,9 +9,11 @@
 // — exactly what comparing two statement orders requires.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "exec/array.hpp"
 #include "ir/ast.hpp"
@@ -34,6 +36,41 @@ enum class ExecEngine {
   kAstWalker,  ///< recursive tree walk (reference semantics)
 };
 
+/// Bucketed distinct-cache-line estimator — the VM's ground-truth
+/// probe for the static cost model (model/cost.hpp). Every executed
+/// array access maps to a deterministic logical line (array identity
+/// plus element offset / line_elems; arrays are treated as
+/// line-aligned), and lines are tracked in a direct-mapped tag table
+/// of 2^bucket_bits entries: a tag change counts one line. With the
+/// table generously sized relative to the working set, `lines`
+/// approximates the number of distinct lines touched; undersized, it
+/// approximates the miss count of a direct-mapped cache of that many
+/// lines. Results are machine-independent (no real addresses).
+struct CacheProbe {
+  i64 line_elems = 8;    ///< elements per line; must be a power of two
+  int bucket_bits = 20;  ///< log2 of tag-table entries
+
+  // -- results --
+  i64 accesses = 0;  ///< array accesses observed
+  i64 lines = 0;     ///< estimated distinct lines touched
+
+  /// Record one access to logical line `line_id`. Lazily sizes the
+  /// tag table on first use.
+  void touch(std::uint64_t line_id) {
+    if (tags.empty()) tags.assign(std::size_t{1} << bucket_bits, 0);
+    ++accesses;
+    const std::uint64_t tag = line_id + 1;  // 0 = empty bucket
+    std::uint64_t& slot =
+        tags[(line_id * 0x9E3779B97F4A7C15ull) >> (64 - bucket_bits)];
+    if (slot != tag) {
+      slot = tag;
+      ++lines;
+    }
+  }
+
+  std::vector<std::uint64_t> tags;  ///< direct-mapped line tags
+};
+
 struct InterpOptions {
   /// Bound on executed statement instances (runaway guard).
   i64 max_instances = 50'000'000;
@@ -44,6 +81,11 @@ struct InterpOptions {
   std::function<void(const AccessEvent&)> observer;
   /// Engine selection; ignored (walker used) when `observer` is set.
   ExecEngine engine = ExecEngine::kVm;
+  /// When set, count cache lines touched during execution. VM engine
+  /// only (interpret() rejects the combination with an observer);
+  /// results accumulate into the pointed-to probe, so one probe can
+  /// span several runs.
+  CacheProbe* cache_probe = nullptr;
 };
 
 struct InterpStats {

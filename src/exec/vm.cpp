@@ -177,12 +177,32 @@ void VmProgram::exec_stmt(const StmtInfo& s, InterpStats& st,
   ++st.instances;
   INLT_CHECK_MSG(st.instances <= max_instances,
                  "interpreter instance budget exceeded");
+  if (probe_) probe_lines(s);
+}
+
+// Feed every access of one executed statement instance to the cache
+// probe: logical line = (array identity, element offset / line_elems),
+// so counts are deterministic and machine-independent.
+void VmProgram::probe_lines(const StmtInfo& s) {
+  for (int i = s.first_access; i != s.first_access + s.naccesses; ++i) {
+    const Access& a = accesses_[i];
+    probe_->touch((static_cast<std::uint64_t>(a.array) << 44) |
+                  (static_cast<std::uint64_t>(offs_[a.reg]) >> probe_shift_));
+  }
 }
 
 InterpStats VmProgram::run(const InterpOptions& opts) {
   ScopedSpan span("vm.run", "exec");
   ScopedTimer timer("exec.vm.run_ns");
   InterpStats st;
+  probe_ = opts.cache_probe;
+  if (probe_) {
+    INLT_CHECK_MSG(probe_->line_elems > 0 &&
+                       (probe_->line_elems & (probe_->line_elems - 1)) == 0,
+                   "CacheProbe::line_elems must be a power of two");
+    probe_shift_ = 0;
+    while ((i64{1} << probe_shift_) < probe_->line_elems) ++probe_shift_;
+  }
   const i64 max_instances = opts.max_instances;
   size_t pc = 0;
   for (;;) {

@@ -207,6 +207,7 @@ class VmProgram {
   bool guards_hold(const GuardSet& g) const;
   void enter_loop(const LoopInfo& loop, i64 lo, i64 hi);
   void exec_stmt(const StmtInfo& s, InterpStats& st, i64 max_instances);
+  void probe_lines(const StmtInfo& s);
   void slow_access_offsets(const StmtInfo& s);
   [[noreturn]] void bounds_fail(const Access& a, int dim, i64 idx) const;
 
@@ -232,6 +233,10 @@ class VmProgram {
   i64 checked_accesses_ = 0;
 
   // -- runtime state --
+  // Cache-line probe for the current run (null = disabled); shift is
+  // log2(line_elems), precomputed when the probe is installed.
+  CacheProbe* probe_ = nullptr;
+  int probe_shift_ = 0;
   std::vector<i64> env_;    // loop variable values, by slot
   std::vector<i64> hi_;     // per active loop: current upper bound
   std::vector<i64> last_;   // per active loop: last executed value

@@ -1,0 +1,106 @@
+// Static cache-locality cost model — the profitability layer.
+//
+// The paper's motivating observation (§1, §5.5) is that many legal
+// transformations of one nest have very different performance; the
+// legality machinery alone cannot say which candidate to pick. This
+// model ranks candidates without generating or running code: for each
+// statement it expresses the source iteration variables in terms of
+// the *transformed* loops (per-statement transformation N_S, completed
+// to a nonsingular basis with the HNF/nullspace machinery of linalg),
+// reads off the per-array-reference stride against the innermost
+// target loop, classifies the reference's reuse, and charges an
+// estimated number of distinct cache lines touched:
+//
+//   temporal  — no subscript moves with the innermost loop: the
+//               reference stays on one line for the whole inner loop.
+//   spatial   — only the last (row-major contiguous) subscript moves,
+//               by |g| < line_elems per iteration: a new line every
+//               line_elems/|g| iterations.
+//   none      — an outer subscript moves (row jumps), or the
+//               contiguous stride is a whole line or more: a new line
+//               every iteration.
+//
+// Scores are symbolic-size estimates: every loop is assumed to run
+// `nominal_trip` iterations, so a statement at depth k charges
+// nominal_trip^(k-1) executions of its innermost loop. The resulting
+// CostEstimate is totally ordered (fewer estimated lines = better;
+// rank search breaks exact ties by candidate index) and renders both
+// as prose (`explain`) and JSON. Ground truth: the VM's cache-line
+// probe (exec/interp.hpp CacheProbe) counts the lines a candidate
+// actually touches; bench_model keeps the two in rank agreement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instance/layout.hpp"
+#include "linalg/rational.hpp"
+#include "transform/block_structure.hpp"
+
+namespace inlt {
+
+struct ModelOptions {
+  /// Array elements (doubles) per cache line: 64B line / 8B element.
+  i64 line_elems = 8;
+  /// Assumed iterations per loop — the stand-in for symbolic N.
+  i64 nominal_trip = 64;
+  PadMode pad = PadMode::kDiagonal;
+};
+
+/// Reuse classification of one reference w.r.t. the innermost loop.
+enum class ReuseClass {
+  kTemporal,  ///< subscripts invariant in the innermost loop
+  kSpatial,   ///< contiguous subscript moves by less than a line
+  kNone,      ///< a new cache line (nearly) every iteration
+};
+
+const char* reuse_class_name(ReuseClass c);
+
+/// Cost of one array reference of one statement.
+struct RefCost {
+  std::string stmt;
+  std::string array;
+  bool is_write = false;
+  /// Per-subscript-dimension stride for one step of the statement's
+  /// innermost transformed loop (exact, in elements of that dimension).
+  std::vector<Rational> stride_dims;
+  ReuseClass reuse = ReuseClass::kNone;
+  /// Estimated distinct cache lines this reference touches over the
+  /// whole nest (nominal_trip iterations per loop).
+  double lines = 0;
+};
+
+/// Totally ordered cost of one candidate: fewer estimated distinct
+/// cache lines is better.
+struct CostEstimate {
+  double total_lines = 0;
+  std::vector<RefCost> refs;  ///< statement (syntactic) order, write first
+
+  /// Strict weak order: by total_lines. Exact ties (identical scores)
+  /// compare equal; rank search breaks them by candidate index.
+  friend bool operator<(const CostEstimate& a, const CostEstimate& b) {
+    return a.total_lines < b.total_lines;
+  }
+
+  /// Per-reference breakdown, one line each, statement-grouped.
+  std::string to_text() const;
+  /// {"total_lines":..,"refs":[{...},...]} (no trailing newline).
+  std::string to_json() const;
+};
+
+/// Estimate the cost of candidate `m` against the source layout. `rec`
+/// must come from recover_ast(src, m). Pure static analysis: no code
+/// generation, no execution. Statements whose per-statement
+/// transformation is rank-deficient are completed with nullspace rows
+/// (the innermost loops augmentation would add); see DESIGN.md for the
+/// model's known inaccuracies.
+CostEstimate estimate_cost(const IvLayout& src, const IntMat& m,
+                           const AstRecovery& rec,
+                           const ModelOptions& opts = {});
+
+/// Convenience: recover the AST, then estimate. Throws (like
+/// recover_ast) when the matrix is not block-structured.
+CostEstimate estimate_cost(const IvLayout& src, const IntMat& m,
+                           const ModelOptions& opts = {});
+
+}  // namespace inlt

@@ -1,0 +1,142 @@
+#include "pipeline/candidate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace inlt {
+
+const char* stage_kind_name(StageKind k) {
+  switch (k) {
+    case StageKind::kLegality: return "legality";
+    case StageKind::kComplete: return "complete";
+    case StageKind::kCost:     return "cost";
+    case StageKind::kCodegen:  return "codegen";
+    case StageKind::kVerify:   return "verify";
+  }
+  return "?";
+}
+
+void CandidatePipeline::add(StageKind kind, bool deferred, StageFn run) {
+  stages_.push_back(Stage{kind, deferred, std::move(run)});
+}
+
+bool CandidatePipeline::has(StageKind kind) const {
+  for (const Stage& s : stages_)
+    if (s.kind == kind) return true;
+  return false;
+}
+
+bool CandidatePipeline::has_deferred() const {
+  for (const Stage& s : stages_)
+    if (s.deferred) return true;
+  return false;
+}
+
+std::string CandidatePipeline::describe() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i) os << " -> ";
+    os << stage_kind_name(stages_[i].kind);
+  }
+  return os.str();
+}
+
+void CandidatePipeline::run(Candidate& c, bool deferred) const {
+  for (const Stage& s : stages_) {
+    if (s.deferred != deferred) continue;
+    if (c.rejected) return;
+    s.fn(c);
+  }
+}
+
+namespace {
+
+// Missing estimates (cost stage absent, or the estimate failed) sort
+// last; exact cost ties break by ascending candidate index, which
+// settle()'s in-order contract makes deterministic.
+double hit_lines(const SearchHit& h) {
+  return h.cost ? h.cost->total_lines : std::numeric_limits<double>::infinity();
+}
+
+bool hit_better(const SearchHit& a, const SearchHit& b) {
+  double la = hit_lines(a), lb = hit_lines(b);
+  if (la != lb) return la < lb;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+CandidateAccumulator::CandidateAccumulator(size_t num_deps, int nslots,
+                                           std::vector<int> pos_to_slot,
+                                           const SearchOptions& sopts)
+    : sopts_(sopts), pos_to_slot_(std::move(pos_to_slot)), nslots_(nslots) {
+  out_.rejections.by_dependence.assign(num_deps, 0);
+  out_.rejections.by_row.assign(static_cast<size_t>(nslots) + 1, 0);
+}
+
+// Rejection provenance: n candidates killed by dependence `dep`,
+// decided at slot `row` (nslots == decided only at completion).
+void CandidateAccumulator::attribute(int dep, int row, i64 n) {
+  if (dep >= 0 && dep < static_cast<int>(out_.rejections.by_dependence.size()))
+    out_.rejections.by_dependence[dep] += n;
+  if (row < 0 || row > nslots_) row = nslots_;
+  out_.rejections.by_row[row] += n;
+  out_.rejections.rejected += n;
+}
+
+void CandidateAccumulator::prune_subtree(int dep, int row, i64 leaves) {
+  ++out_.stats.pruned_subtrees;
+  out_.stats.pruned_candidates += leaves;
+  attribute(dep, row, leaves);
+}
+
+void CandidateAccumulator::prune_leaf(int dep) {
+  ++out_.stats.pruned_candidates;
+  attribute(dep, nslots_, 1);
+}
+
+void CandidateAccumulator::settle(Candidate&& c) {
+  if (c.result.legal) {
+    ++out_.stats.legal;
+    if (c.result.verify) {
+      ++out_.stats.verified;
+      if (!c.result.verify->equivalent) ++out_.stats.verify_failed;
+    }
+    SearchHit h{c.index, std::move(c.matrix), std::move(c.result),
+                std::move(c.cost)};
+    if (sopts_.sink) sopts_.sink(h);
+    const i64 k = sopts_.top_k;
+    if (k <= 0) {
+      out_.hits.push_back(std::move(h));
+    } else if (static_cast<i64>(out_.hits.size()) < k) {
+      out_.hits.push_back(std::move(h));
+      std::push_heap(out_.hits.begin(), out_.hits.end(), hit_better);
+    } else if (hit_better(h, out_.hits.front())) {
+      std::pop_heap(out_.hits.begin(), out_.hits.end(), hit_better);
+      out_.hits.back() = std::move(h);
+      std::push_heap(out_.hits.begin(), out_.hits.end(), hit_better);
+    }
+    return;
+  }
+  ++out_.stats.illegal_evaluated;
+  // Attribute through the first localized legality diagnostic
+  // (codegen-stage failures carry no dependence provenance).
+  for (const Diagnostic& dg : c.result.legality.diagnostics) {
+    if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
+    int slot = dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot_.size())
+                   ? pos_to_slot_[dg.row]
+                   : -1;
+    attribute(dg.dep_index, slot < 0 ? nslots_ : slot, 1);
+    break;
+  }
+}
+
+SearchResult CandidateAccumulator::take() {
+  if (sopts_.top_k > 0)
+    std::sort(out_.hits.begin(), out_.hits.end(), hit_better);
+  return std::move(out_);
+}
+
+}  // namespace inlt

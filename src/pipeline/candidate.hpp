@@ -1,0 +1,147 @@
+// The candidate pipeline — one record, one stage list, one
+// accumulator.
+//
+// search() used to interleave three concerns in one recursive walk:
+// deciding candidates (legality / codegen / verification, with the
+// work differing by mode), accounting for them (stats, rejection
+// provenance, hit collection — assembled in three separate places) and
+// scheduling them (inline at the leaf vs. deferred to worker threads).
+// This header separates them:
+//
+//  * `Candidate` is the first-class record a candidate accumulates as
+//    it moves through the stages: index, matrix, CandidateResult,
+//    optional cost estimate, plus inter-stage scratch (the recovered
+//    AST).
+//  * `CandidatePipeline` is an ordered list of named stages
+//    (Legality -> Complete -> Cost -> Codegen -> Verify). Full mode,
+//    the legality-only filter and rank mode are *configurations* of
+//    this list — which stages are present and what each one runs —
+//    not separate code paths. Stages marked deferred run after the
+//    sequential legality walk, fanned across worker threads; a stage
+//    that rejects a candidate stops its remaining stages.
+//  * `CandidateAccumulator` is the single merge point for every
+//    decided candidate: it owns the SearchResult, the rejection
+//    provenance (pruned subtrees, pruned leaves, evaluated-illegal
+//    diagnostics) and the hit list — including the bounded best-K
+//    heap rank mode uses, ordered by (cost, index) so results are
+//    deterministic at any thread count.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/cost.hpp"
+#include "pipeline/search.hpp"
+
+namespace inlt {
+
+/// The named stages a candidate can pass through, in pipeline order.
+enum class StageKind {
+  kLegality,  ///< legality verdict (engine, or exact ILP)
+  kComplete,  ///< recover the transformed AST skeleton (rank/cost)
+  kCost,      ///< static cache-locality estimate (model/cost.hpp)
+  kCodegen,   ///< full code generation + simplify (evaluate_impl)
+  kVerify,    ///< semantic verification against the source program
+};
+
+const char* stage_kind_name(StageKind k);
+
+/// One candidate moving through the pipeline.
+struct Candidate {
+  i64 index = -1;  ///< position in the depth-first enumeration
+  IntMat matrix;
+  CandidateResult result;
+  /// Cost-model estimate (kCost stage; unset if the stage is absent
+  /// or the estimate failed).
+  std::optional<CostEstimate> cost;
+  /// Inter-stage scratch: the recovered AST (kComplete stage) the
+  /// cost stage consumes. Dropped when the candidate settles.
+  std::optional<AstRecovery> recovery;
+  /// Set by a stage that definitively rejects the candidate; the
+  /// remaining stages are skipped. Distinct from `result.legal`
+  /// because exact-mode codegen decides legality *inside* its stage —
+  /// `legal == false` before that stage ran means "undecided".
+  bool rejected = false;
+};
+
+/// An ordered list of named stages over Candidate. Leaf stages run
+/// inline during the sequential legality walk (they may read the
+/// stateful incremental engine); deferred stages run after the walk,
+/// per candidate, possibly on worker threads (they must be
+/// thread-safe and independent per candidate).
+class CandidatePipeline {
+ public:
+  using StageFn = std::function<void(Candidate&)>;
+
+  void add(StageKind kind, bool deferred, StageFn run);
+
+  /// Run the leaf (non-deferred) stages in order; stops early when a
+  /// stage rejects the candidate.
+  void run_leaf(Candidate& c) const { run(c, /*deferred=*/false); }
+  /// Run the deferred stages in order; stops early on rejection.
+  void run_deferred(Candidate& c) const { run(c, /*deferred=*/true); }
+
+  bool has(StageKind kind) const;
+  bool has_deferred() const;
+  /// "legality -> complete -> cost" — the configured stage list.
+  std::string describe() const;
+
+ private:
+  struct Stage {
+    StageKind kind;
+    bool deferred;
+    StageFn fn;
+  };
+  void run(Candidate& c, bool deferred) const;
+
+  std::vector<Stage> stages_;
+};
+
+/// The single merge point for decided candidates: owns the
+/// SearchResult and all bookkeeping that used to be assembled ad hoc
+/// at three separate sites in search(). Not thread-safe — the walk
+/// and the post-walk merge both run on the calling thread, in
+/// enumeration order, which is what makes results deterministic.
+class CandidateAccumulator {
+ public:
+  /// `pos_to_slot` maps a layout position to its slot index (for
+  /// converting a legality diagnostic's deciding row into a by_row
+  /// bucket); `nslots` indexes the trailing completion bucket.
+  CandidateAccumulator(size_t num_deps, int nslots,
+                       std::vector<int> pos_to_slot,
+                       const SearchOptions& sopts);
+
+  SearchStats& stats() { return out_.stats; }
+
+  /// A viable prefix at `depth` turned illegal: its whole subtree of
+  /// `leaves` candidates is pruned, attributed to dependence `dep`
+  /// decided at slot `row`.
+  void prune_subtree(int dep, int row, i64 leaves);
+  /// A viable prefix with an illegal completion died at the leaf.
+  void prune_leaf(int dep);
+  /// A candidate reached the leaf and will be decided by the pipeline.
+  void note_evaluated() { ++out_.stats.evaluated; }
+
+  /// Merge one pipeline-decided candidate: legal candidates feed the
+  /// hit list (or the bounded best-K heap), the sink and the
+  /// verification counters; rejected ones feed illegal_evaluated and
+  /// the diagnostic-localized rejection provenance. Must be called in
+  /// ascending index order — the (cost, index) tiebreak relies on it.
+  void settle(Candidate&& c);
+
+  /// Finalize (sorts the best-K heap by ascending cost, index) and
+  /// move the result out.
+  SearchResult take();
+
+ private:
+  void attribute(int dep, int row, i64 n);
+
+  SearchResult out_;
+  const SearchOptions& sopts_;
+  std::vector<int> pos_to_slot_;
+  int nslots_;
+};
+
+}  // namespace inlt

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "dependence/direction.hpp"
+#include "pipeline/candidate.hpp"
 #include "support/check.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
@@ -139,25 +140,24 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
                  "generator slot count does not match the layout");
   INLT_CHECK_MSG(sopts.progress_interval > 0,
                  "progress_interval must be positive");
+  INLT_CHECK_MSG(sopts.top_k >= 0, "top_k must be non-negative");
   // Hull prefixes cannot prune exact-mode candidates: the ILP test
   // accepts matrices the hull rejects, so in exact mode the engine is
   // bypassed and every candidate is evaluated.
   const bool prune = !opts_.exact;
+  const bool full = sopts.mode == SearchMode::kFull;
+  const bool cost = sopts.cost || sopts.top_k > 0;
   if (prune && !engine_)
     engine_ = std::make_unique<IncrementalLegality>(*layout_, deps_);
 
   ScopedSpan run_span("search.run", "search");
   const auto t0 = std::chrono::steady_clock::now();
 
-  SearchResult out;
-  out.rejections.by_dependence.assign(deps_.deps.size(), 0);
-  out.rejections.by_row.assign(static_cast<size_t>(nslots) + 1, 0);
   // Exact subtree sizes per depth (prefix-independent by the
   // generator contract) — what index arithmetic under pruning uses.
   std::vector<i64> leaves_below(nslots + 1, 1);
   for (int d = nslots; d-- > 0;)
     leaves_below[d] = checked_mul(leaves_below[d + 1], gen.num_options(d));
-  out.stats.candidates_total = leaves_below[0];
 
   IntMat m = IntMat::identity(layout_->size());
   const std::vector<int>& slots = layout_->all_loop_positions();
@@ -166,32 +166,102 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
   std::vector<int> pos_to_slot(layout_->size(), -1);
   for (int s = 0; s < nslots; ++s) pos_to_slot[slots[s]] = s;
 
-  // Rejection provenance: n candidates killed by dependence `dep`,
-  // decided at slot `row` (nslots == decided only at completion).
-  auto attribute = [&](int dep, int row, i64 n) {
-    if (dep >= 0 && dep < static_cast<int>(out.rejections.by_dependence.size()))
-      out.rejections.by_dependence[dep] += n;
-    if (row < 0 || row > nslots) row = nslots;
-    out.rejections.by_row[row] += n;
-    out.rejections.rejected += n;
-  };
+  CandidateAccumulator acc(deps_.deps.size(), nslots, pos_to_slot, sopts);
+  acc.stats().candidates_total = leaves_below[0];
+
+  // -- pipeline configuration ---------------------------------------
+  // Full mode, the legality-only filter and rank mode are the same
+  // stage list with different members: which stages exist and what
+  // each runs is decided here, once, instead of being interleaved
+  // with the walk.
+  std::optional<VerifyReference> ref;  // outlives the kVerify stage
+  CandidatePipeline pipe;
+  if (prune) {
+    // The engine's full-depth verdict IS the hull legality test
+    // (test_incremental proves the equivalence); in full mode the
+    // codegen stage rebuilds the result from scratch anyway, so the
+    // leaf verdict records only the flag.
+    if (full) {
+      pipe.add(StageKind::kLegality, /*deferred=*/false,
+               [](Candidate& c) { c.result.legal = true; });
+    } else {
+      pipe.add(StageKind::kLegality, /*deferred=*/false, [this](Candidate& c) {
+        c.result.legal = true;
+        c.result.legality.unsatisfied = engine_->current_unsatisfied();
+      });
+    }
+  } else if (!full) {
+    // Exact filter mode: decide legality by the ILP test at the leaf,
+    // skipping plan/build/simplify.
+    pipe.add(StageKind::kLegality, /*deferred=*/false, [this](Candidate& c) {
+      ScopedProjectionCache install(&cache_);
+      AstRecovery rec = recover_ast(*layout_, c.matrix);
+      c.result.legal =
+          check_legality_exact(*layout_, c.matrix, rec, opts_.codegen.pad)
+              .legal();
+      c.rejected = !c.result.legal;
+    });
+  }
+  // (Exact full mode has no standalone legality stage: the ILP
+  // verdict is produced inside codegen by generate_code_exact.)
+  if (cost) {
+    ModelOptions mopts = sopts.model;
+    mopts.pad = opts_.codegen.pad;
+    HistogramCell* cost_hist = &Stats::global().histogram("search.cost_ns");
+    pipe.add(StageKind::kComplete, /*deferred=*/true, [this](Candidate& c) {
+      try {
+        c.recovery.emplace(recover_ast(*layout_, c.matrix));
+      } catch (const Error& e) {
+        // Engine-legal candidates are block-structured by the
+        // generator contract; a recovery failure is a structure error
+        // and rejects the candidate like evaluate() would.
+        c.result.legal = false;
+        c.rejected = true;
+        c.result.error = e.what();
+      }
+    });
+    pipe.add(StageKind::kCost, /*deferred=*/true,
+             [this, mopts, cost_hist](Candidate& c) {
+               if (!c.recovery) return;
+               const auto s0 = std::chrono::steady_clock::now();
+               try {
+                 c.cost.emplace(
+                     estimate_cost(*layout_, c.matrix, *c.recovery, mopts));
+               } catch (const Error&) {
+                 // Unrankable, not illegal: the hit survives with no
+                 // estimate and sorts after every scored one.
+               }
+               cost_hist->record(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - s0)
+                       .count());
+             });
+  }
+  if (full) {
+    pipe.add(StageKind::kCodegen, /*deferred=*/true, [this](Candidate& c) {
+      c.result = evaluate_impl(c.matrix);
+      c.rejected = !c.result.legal;
+    });
+    if (!sopts.verify_params.empty()) {
+      pipe.add(StageKind::kVerify, /*deferred=*/true, [&ref](Candidate& c) {
+        if (c.result.legal && ref && c.result.program)
+          c.result.verify = ref->check(*c.result.program);
+      });
+    }
+  }
+  const bool deferred = pipe.has_deferred();
+  if (run_span.active()) run_span.arg("pipeline", pipe.describe());
 
   // Per-candidate decision time is recorded only in full mode: the
   // legality-only filter decides millions of candidates per second and
   // even two clock reads per leaf would dominate it.
   HistogramCell* cand_hist =
-      sopts.mode == SearchMode::kFull
-          ? &Stats::global().histogram("search.candidate_ns")
-          : nullptr;
+      full ? &Stats::global().histogram("search.candidate_ns") : nullptr;
 
-  // Survivors of the legality walk, in enumeration order, evaluated
+  // Survivors of the legality walk, in enumeration order, finished
   // after the walk (the IncrementalLegality engine is stateful, so the
-  // walk itself stays sequential; everything per-candidate is not).
-  struct Pending {
-    i64 index;
-    IntMat matrix;
-  };
-  std::vector<Pending> pending;
+  // walk itself stays sequential; the deferred stages are not).
+  std::vector<Candidate> pending;
 
   i64 index = 0;
   i64 next_report = sopts.progress ? sopts.progress_interval
@@ -199,9 +269,9 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
   auto emit_progress = [&](i64 done) {
     SearchProgress p;
     p.done = done;
-    p.total = out.stats.candidates_total;
-    p.legal = out.stats.legal;
-    p.pruned = out.stats.pruned_candidates;
+    p.total = acc.stats().candidates_total;
+    p.legal = acc.stats().legal;
+    p.pruned = acc.stats().pruned_candidates;
     p.elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -216,8 +286,7 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
       if (prune && !engine_->current_legal()) {
         // Viable prefix, illegal completion: the zero projection of
         // leaf_killer() is what rejected it.
-        ++out.stats.pruned_candidates;
-        attribute(engine_->leaf_killer(), nslots, 1);
+        acc.prune_leaf(engine_->leaf_killer());
         ++index;
         if (index >= next_report) {
           emit_progress(index);
@@ -225,46 +294,17 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
         }
         return;
       }
-      ++out.stats.evaluated;
-      if (sopts.mode == SearchMode::kLegalityOnly) {
-        CandidateResult r;
-        if (prune) {
-          // The engine's full-depth verdict IS the hull legality test
-          // (test_incremental proves the equivalence) — no pipeline
-          // work left to do for a verdict-only hit.
-          r.legal = true;
-          r.legality.unsatisfied = engine_->current_unsatisfied();
-        } else {
-          // Exact mode: decide legality by the ILP test, skipping
-          // plan/build/simplify.
-          ScopedProjectionCache install(&cache_);
-          AstRecovery rec = recover_ast(*layout_, m);
-          r.legal =
-              check_legality_exact(*layout_, m, rec, opts_.codegen.pad).legal();
-        }
-        if (r.legal) {
-          ++out.stats.legal;
-          out.hits.push_back(SearchHit{index, m, std::move(r)});
-          if (sopts.sink) sopts.sink(out.hits.back());
-        } else {
-          ++out.stats.illegal_evaluated;
-          // Attribute through the first localized legality diagnostic
-          // (codegen-stage failures carry no dependence provenance).
-          for (const Diagnostic& dg : r.legality.diagnostics) {
-            if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
-            int slot =
-                dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot.size())
-                    ? pos_to_slot[dg.row]
-                    : -1;
-            attribute(dg.dep_index, slot < 0 ? nslots : slot, 1);
-            break;
-          }
-        }
+      acc.note_evaluated();
+      Candidate c;
+      c.index = index;
+      c.matrix = m;
+      pipe.run_leaf(c);
+      if (deferred && !c.rejected) {
+        // Deferred stages pending: batch the survivor for the
+        // post-walk worker threads.
+        pending.push_back(std::move(c));
       } else {
-        // Full mode: the pipeline work (codegen + simplify + optional
-        // semantic verification) is independent per candidate — defer
-        // it and run the batch on worker threads after the walk.
-        pending.push_back(Pending{index, m});
+        acc.settle(std::move(c));
       }
       ++index;
       if (index >= next_report) {
@@ -280,10 +320,8 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
       bool viable = true;
       if (prune) viable = engine_->push_row(r);
       if (!viable) {
-        ++out.stats.pruned_subtrees;
         i64 n = leaves_below[depth + 1];
-        out.stats.pruned_candidates += n;
-        attribute(engine_->killer(), engine_->killer_row(), n);
+        acc.prune_subtree(engine_->killer(), engine_->killer_row(), n);
         if (Tracer::enabled()) {
           ScopedSpan ps("search.prune", "search");
           ps.arg("depth", static_cast<i64>(depth));
@@ -304,31 +342,29 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
   };
   rec(0);
 
-  // Deferred evaluation stage (full mode): codegen + simplify +
-  // optional semantic verification for every survivor, fanned over the
-  // session's worker threads. Results are merged back in enumeration
-  // order, so hits, stats and rejection provenance are bit-identical
-  // to the sequential path regardless of thread count.
+  // Deferred stages (codegen + simplify + optional verification in
+  // full mode, completion + cost in rank mode) for every survivor,
+  // fanned over the session's worker threads. Results are merged back
+  // in enumeration order, so hits, stats and rejection provenance are
+  // bit-identical to the sequential path regardless of thread count.
   if (!pending.empty()) {
     ScopedSpan eval_span("search.evaluate", "search");
-    std::optional<VerifyReference> ref;
     if (!sopts.verify_params.empty())
       ref.emplace(*program_, sopts.verify_params, sopts.verify_fill,
                   sopts.verify_seed, /*tolerance=*/1e-9, sopts.verify_engine);
-    std::vector<CandidateResult> results(pending.size());
     auto eval_one = [&](size_t i) {
+      Candidate& c = pending[i];
       ScopedSpan cs("search.candidate", "search");
       const auto c0 = std::chrono::steady_clock::now();
-      CandidateResult r = evaluate_impl(pending[i].matrix);
-      if (r.legal && ref && r.program) r.verify = ref->check(*r.program);
-      cand_hist->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - c0)
-                            .count());
+      pipe.run_deferred(c);
+      if (cand_hist)
+        cand_hist->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - c0)
+                              .count());
       if (cs.active()) {
-        cs.arg("index", pending[i].index);
-        cs.arg("legal", r.legal);
+        cs.arg("index", c.index);
+        cs.arg("legal", c.result.legal);
       }
-      results[i] = std::move(r);
     };
     int nthreads =
         resolve_threads(opts_.threads, opts_.max_threads, pending.size());
@@ -352,47 +388,22 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
       eval_span.arg("candidates", static_cast<i64>(pending.size()));
       eval_span.arg("threads", static_cast<i64>(nthreads));
     }
-    for (size_t i = 0; i < pending.size(); ++i) {
-      CandidateResult& r = results[i];
-      if (r.legal) {
-        ++out.stats.legal;
-        if (r.verify) {
-          ++out.stats.verified;
-          if (!r.verify->equivalent) ++out.stats.verify_failed;
-        }
-        out.hits.push_back(
-            SearchHit{pending[i].index, pending[i].matrix, std::move(r)});
-        if (sopts.sink) sopts.sink(out.hits.back());
-      } else {
-        ++out.stats.illegal_evaluated;
-        // Attribute through the first localized legality diagnostic
-        // (codegen-stage failures carry no dependence provenance).
-        for (const Diagnostic& dg : r.legality.diagnostics) {
-          if (dg.stage != Stage::kLegality || dg.dep_index < 0) continue;
-          int slot =
-              dg.row >= 0 && dg.row < static_cast<int>(pos_to_slot.size())
-                  ? pos_to_slot[dg.row]
-                  : -1;
-          attribute(dg.dep_index, slot < 0 ? nslots : slot, 1);
-          break;
-        }
-      }
-    }
+    for (Candidate& c : pending) acc.settle(std::move(c));
   }
 
   // Final report: done == total, so consumers can close their display.
   if (sopts.progress) emit_progress(index);
 
   if (run_span.active()) {
-    run_span.arg("total", out.stats.candidates_total);
-    run_span.arg("evaluated", out.stats.evaluated);
-    run_span.arg("legal", out.stats.legal);
-    run_span.arg("pruned", out.stats.pruned_candidates);
+    run_span.arg("total", acc.stats().candidates_total);
+    run_span.arg("evaluated", acc.stats().evaluated);
+    run_span.arg("legal", acc.stats().legal);
+    run_span.arg("pruned", acc.stats().pruned_candidates);
   }
-  Stats::global().add("search.candidates", out.stats.candidates_total);
-  Stats::global().add("search.evaluated", out.stats.evaluated);
-  Stats::global().add("search.pruned", out.stats.pruned_candidates);
-  return out;
+  Stats::global().add("search.candidates", acc.stats().candidates_total);
+  Stats::global().add("search.evaluated", acc.stats().evaluated);
+  Stats::global().add("search.pruned", acc.stats().pruned_candidates);
+  return acc.take();
 }
 
 SearchResult TransformSession::search(

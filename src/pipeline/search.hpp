@@ -18,10 +18,12 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "instance/layout.hpp"
 #include "linalg/matrix.hpp"
+#include "model/cost.hpp"
 #include "pipeline/session.hpp"
 
 namespace inlt {
@@ -156,10 +158,17 @@ struct SearchHit {
   /// SearchMode::kLegalityOnly: legal flag + legality.unsatisfied
   /// only; no generated program.
   CandidateResult result;
+  /// Static cache-locality estimate (model/cost.hpp); set when
+  /// SearchOptions::cost (or top_k) is active and the estimate
+  /// succeeded.
+  std::optional<CostEstimate> cost;
 };
 
 struct SearchResult {
-  std::vector<SearchHit> hits;  ///< legal candidates, ascending index
+  /// Legal candidates: ascending index, except under
+  /// SearchOptions::top_k where only the K best survive, sorted by
+  /// ascending (cost, index).
+  std::vector<SearchHit> hits;
   SearchStats stats;
   /// Where the rejected candidates died (dependence × row).
   RejectionBreakdown rejections;
@@ -192,6 +201,21 @@ struct SearchOptions {
   unsigned verify_seed = 1;
   /// Execution engine for verification runs.
   ExecEngine verify_engine = ExecEngine::kVm;
+  /// Run the static cost model (model/cost.hpp) on every legal
+  /// candidate: adds the Complete + Cost stages to the candidate
+  /// pipeline (deferred, on the session's worker threads) and fills
+  /// each hit's `cost`. Works in both modes; kLegalityOnly + cost is
+  /// "rank mode" — scores without generating code.
+  bool cost = false;
+  /// Model knobs when `cost` is active. The pad mode is taken from
+  /// the session's codegen options, not from here.
+  ModelOptions model;
+  /// Keep only the K best hits, ordered by ascending
+  /// (cost.total_lines, index) — a bounded heap, so ranking a huge
+  /// space is O(K) memory. Implies `cost`; 0 keeps every hit.
+  /// Stats still count all legal candidates and the sink still sees
+  /// every one of them.
+  i64 top_k = 0;
 };
 
 /// Enumerate the generator's full candidate space in search order —

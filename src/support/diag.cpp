@@ -22,6 +22,7 @@ const char* stage_name(Stage s) {
     case Stage::kLegality: return "legality";
     case Stage::kCompletion: return "completion";
     case Stage::kCodegen: return "codegen";
+    case Stage::kCli: return "cli";
   }
   return "unknown";
 }

@@ -34,6 +34,7 @@ enum class Stage {
   kLegality,    ///< Definition 6 legality test
   kCompletion,  ///< §6 completion procedure
   kCodegen,     ///< §5 code generation
+  kCli,         ///< command-line driver (bad invocation, missing file)
 };
 
 const char* severity_name(Severity s);

@@ -15,7 +15,8 @@ foreach(v INLTC PYTHON CHECKER LOOP OUT)
 endforeach()
 
 execute_process(
-  COMMAND ${INLTC} search ${LOOP} --legality-only --trace-out ${OUT}
+  # search defaults to the legality-only filter mode (no --full).
+  COMMAND ${INLTC} search ${LOOP} --trace-out ${OUT}
   OUTPUT_QUIET
   ERROR_VARIABLE err
   RESULT_VARIABLE rc

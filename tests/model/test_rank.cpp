@@ -1,0 +1,199 @@
+// Rank mode end to end: the cost model against VM ground truth, and
+// the determinism / bounding guarantees of top-k ranked search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/interp.hpp"
+#include "ir/gallery.hpp"
+#include "ir/printer.hpp"
+#include "model/cost.hpp"
+#include "pipeline/search.hpp"
+#include "transform/completion.hpp"
+
+namespace inlt {
+namespace {
+
+// Probe one program with an undersized direct-mapped tag table — the
+// deterministic stand-in for a real cache's miss count.
+i64 probed_lines(const Program& p, i64 n, int bucket_bits) {
+  Memory mem;
+  const std::map<std::string, i64> params = {{"N", n}};
+  declare_arrays(p, params, mem);
+  fill_spd(mem, 1);
+  CacheProbe probe;
+  probe.bucket_bits = bucket_bits;
+  InterpOptions io;
+  io.cache_probe = &probe;
+  interpret(p, params, mem, io);
+  return probe.lines;
+}
+
+TEST(RankTest, ModelTopOneMatchesProbeOnCholeskyOrders) {
+  // The acceptance check: across the expressible Cholesky orderings,
+  // the order the model scores cheapest must also touch the fewest
+  // probe lines. N is chosen so the working set (48*48/8 = 288 lines)
+  // overflows the 256-entry table and loop order matters.
+  const i64 n = 48;
+  TransformSession session(gallery::cholesky());
+  const IvLayout& layout = session.layout();
+  ModelOptions mopts;
+  mopts.nominal_trip = n;
+
+  std::vector<std::string> names;
+  std::vector<double> model;
+  std::vector<i64> measured;
+  const std::vector<std::string> orders = {"KJL", "KLJ", "LJK", "LKJ"};
+  for (const std::string& order : orders) {
+    std::vector<IntVec> rows;
+    for (char c : order) {
+      IntVec r(layout.size(), 0);
+      r[layout.loop_position(std::string(1, c))] = 1;
+      rows.push_back(std::move(r));
+    }
+    IntMat m =
+        complete_transformation(layout, session.dependences(), rows).matrix;
+    CandidateResult cand = session.evaluate(m);
+    ASSERT_TRUE(cand.legal && cand.program) << order;
+    names.push_back(order);
+    model.push_back(estimate_cost(layout, m, mopts).total_lines);
+    measured.push_back(probed_lines(*cand.program, n, /*bucket_bits=*/8));
+  }
+
+  size_t mbest = std::min_element(model.begin(), model.end()) - model.begin();
+  size_t vbest =
+      std::min_element(measured.begin(), measured.end()) - measured.begin();
+  EXPECT_EQ(names[mbest], names[vbest])
+      << "model best " << names[mbest] << " (" << model[mbest]
+      << " lines) vs measured best " << names[vbest] << " ("
+      << measured[vbest] << " lines)";
+}
+
+TEST(RankTest, RankedSearchIsDeterministicAcrossThreadCounts) {
+  // The Complete + Cost stages run on worker threads; the merged
+  // ranking must not depend on how many there are.
+  std::vector<std::vector<std::pair<i64, double>>> runs;
+  for (int threads : {1, 2, 4}) {
+    SessionOptions opts;
+    opts.threads = threads;
+    TransformSession session(gallery::cholesky(), opts);
+    SearchOptions sopts;
+    sopts.mode = SearchMode::kLegalityOnly;
+    sopts.top_k = 5;
+    SearchResult res =
+        session.search(SearchSpace{/*skew_bound=*/1, /*skew_depth=*/1}, sopts);
+    std::vector<std::pair<i64, double>> seq;
+    for (const SearchHit& h : res.hits) {
+      ASSERT_TRUE(h.cost.has_value());
+      seq.emplace_back(h.index, h.cost->total_lines);
+    }
+    runs.push_back(std::move(seq));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(RankTest, TopKKeepsTheBestOfTheFullRanking) {
+  SessionOptions opts;
+  opts.threads = 1;
+  TransformSession session(gallery::cholesky(), opts);
+  SearchSpace space{/*skew_bound=*/1, /*skew_depth=*/1};
+
+  SearchOptions all;
+  all.mode = SearchMode::kLegalityOnly;
+  all.cost = true;
+  SearchResult full = session.search(space, all);
+  ASSERT_GT(full.hits.size(), 2u);
+  for (const SearchHit& h : full.hits) ASSERT_TRUE(h.cost.has_value());
+
+  // Reference ranking: stable sort of every hit by (cost, index).
+  std::vector<std::pair<double, i64>> ranked;
+  for (const SearchHit& h : full.hits)
+    ranked.emplace_back(h.cost->total_lines, h.index);
+  std::sort(ranked.begin(), ranked.end());
+
+  SearchOptions top;
+  top.mode = SearchMode::kLegalityOnly;
+  top.top_k = 2;
+  SearchResult best = session.search(space, top);
+  ASSERT_EQ(best.hits.size(), 2u);
+  for (size_t i = 0; i < best.hits.size(); ++i) {
+    EXPECT_EQ(best.hits[i].index, ranked[i].second);
+    EXPECT_DOUBLE_EQ(best.hits[i].cost->total_lines, ranked[i].first);
+  }
+  // Bounding the hit list does not change the accounting.
+  EXPECT_EQ(best.stats.legal, full.stats.legal);
+  EXPECT_EQ(best.stats.candidates_total, full.stats.candidates_total);
+}
+
+TEST(RankTest, SinkSeesEveryLegalCandidateDespiteTopK) {
+  TransformSession session(gallery::lu());
+  SearchOptions sopts;
+  sopts.mode = SearchMode::kLegalityOnly;
+  sopts.top_k = 1;
+  std::vector<i64> streamed;
+  sopts.sink = [&](const SearchHit& h) { streamed.push_back(h.index); };
+  SearchResult res = session.search(SearchSpace{}, sopts);
+  EXPECT_EQ(res.hits.size(), 1u);
+  EXPECT_EQ(static_cast<i64>(streamed.size()), res.stats.legal);
+  EXPECT_TRUE(std::is_sorted(streamed.begin(), streamed.end()));
+}
+
+TEST(RankTest, CostStageDoesNotPerturbFullModeResults) {
+  // Full mode with cost on: every hit gains an estimate, and the
+  // generated programs are bit-identical to a cost-less search.
+  SessionOptions opts;
+  opts.threads = 1;
+  TransformSession session(gallery::cholesky(), opts);
+  SearchResult plain = session.search(SearchSpace{});
+  SearchOptions with_cost;
+  with_cost.cost = true;
+  SearchResult costed = session.search(SearchSpace{}, with_cost);
+
+  ASSERT_EQ(costed.hits.size(), plain.hits.size());
+  for (size_t i = 0; i < plain.hits.size(); ++i) {
+    EXPECT_EQ(costed.hits[i].index, plain.hits[i].index);
+    ASSERT_TRUE(costed.hits[i].cost.has_value());
+    EXPECT_FALSE(plain.hits[i].cost.has_value());
+    ASSERT_TRUE(costed.hits[i].result.program.has_value());
+    EXPECT_EQ(print_program(*costed.hits[i].result.program),
+              print_program(*plain.hits[i].result.program));
+  }
+}
+
+TEST(RankTest, EqualCostTiesRankByAscendingIndex) {
+  // Cholesky's pure permutation space scores in tied groups (legal
+  // candidates that only interleave loops across sibling statements
+  // share every per-statement stride). Within a tie, the ranked list
+  // must keep ascending candidate index — the deterministic tiebreak.
+  TransformSession session(gallery::cholesky());
+  SearchOptions all;
+  all.mode = SearchMode::kLegalityOnly;
+  all.cost = true;
+  SearchResult full = session.search(SearchSpace{}, all);
+  std::vector<std::pair<double, i64>> ranked;
+  for (const SearchHit& h : full.hits) {
+    ASSERT_TRUE(h.cost.has_value());
+    ranked.emplace_back(h.cost->total_lines, h.index);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  // The space actually has ties to break.
+  ASSERT_GT(ranked.size(), 1u);
+  ASSERT_EQ(ranked[0].first, ranked[1].first);
+
+  SearchOptions top;
+  top.mode = SearchMode::kLegalityOnly;
+  top.top_k = 3;
+  SearchResult best = session.search(SearchSpace{}, top);
+  ASSERT_EQ(best.hits.size(), 3u);
+  for (size_t i = 0; i < best.hits.size(); ++i) {
+    EXPECT_EQ(best.hits[i].index, ranked[i].second);
+    if (i > 0 && best.hits[i - 1].cost->total_lines ==
+                     best.hits[i].cost->total_lines) {
+      EXPECT_LT(best.hits[i - 1].index, best.hits[i].index);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace inlt

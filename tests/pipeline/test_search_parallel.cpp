@@ -39,9 +39,10 @@ void expect_identical(const SearchResult& a, const SearchResult& b) {
     EXPECT_TRUE(a.hits[i].matrix == b.hits[i].matrix);
     ASSERT_EQ(a.hits[i].result.program.has_value(),
               b.hits[i].result.program.has_value());
-    if (a.hits[i].result.program.has_value())
+    if (a.hits[i].result.program.has_value()) {
       EXPECT_EQ(print_program(*a.hits[i].result.program),
                 print_program(*b.hits[i].result.program));
+    }
     ASSERT_EQ(a.hits[i].result.verify.has_value(),
               b.hits[i].result.verify.has_value());
     if (a.hits[i].result.verify.has_value()) {

@@ -205,10 +205,11 @@ TEST(SessionTest, EvaluateAllMatchesSequentialAndIsDeterministic) {
     for (size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].legal, expected[i].legal) << "candidate " << i;
       ASSERT_EQ(got[i].program.has_value(), expected[i].program.has_value());
-      if (got[i].program)
+      if (got[i].program) {
         EXPECT_EQ(print_program(*got[i].program),
                   print_program(*expected[i].program))
             << "candidate " << i << " round " << round;
+      }
       EXPECT_EQ(got[i].error, expected[i].error) << "candidate " << i;
     }
   }

@@ -11,6 +11,9 @@
 //   inltc search    <file>                     sweep permutations × skews
 //                                              through the pruning search
 //                                              driver, list legal candidates
+//   inltc rank      <file>                     rank the search space by the
+//                                              static cache-locality model,
+//                                              print the best candidates
 //   inltc explain   <file> <op> [...ops]       per-dependence legality
 //                                              provenance: the Definition 6
 //                                              walk in Δ-vector terms
@@ -33,14 +36,20 @@
 //        --trace-summary  per-category span table on stderr
 //        --progress   periodic search progress on stderr
 //        --search     alias for the search command
-//        search only: --skew-bound B | --skew-depth D | --full
+//        search/rank: --skew-bound B | --skew-depth D | --full
+//                     --cost (score each hit with the cost model)
+//                     --top K (keep the K best hits by cost; rank
+//                     defaults to 5)
 //        (--full generates and prints each legal candidate's program;
 //         the default stops at legality verdicts)
 //
 // All commands run through a TransformSession: the program is parsed
 // and analyzed once, candidate matrices are evaluated against the
 // cached analysis, and failures are reported as structured
-// diagnostics (see src/support/diag.hpp).
+// diagnostics (see src/support/diag.hpp). Driver-level failures —
+// unknown commands or flags, malformed ops, unreadable files — are
+// Stage::kCli diagnostics on stderr: exit 2 for bad invocations,
+// exit 1 for runtime failures.
 //
 // <file> may be '-' for stdin.
 #include <fstream>
@@ -71,16 +80,29 @@ commands:
   complete  <file> [loops...]      complete a partial transformation (§6)
   parallel  <file>                 parallel directions (§7)
   search    <file>                 sweep permutations x skews, list legal ones
+  rank      <file>                 rank the space by the static cost model
   explain   <file> <ops...>        per-dependence legality provenance
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
 flags: --verify N | --engine {vm,ast} | --raw | --exact | --pad-zero
        --stats | --diag-json | --threads N | --search | --trace-out F
        --trace-summary | --progress
-search flags: --skew-bound B | --skew-depth D | --full
+search/rank flags: --skew-bound B | --skew-depth D | --full | --cost | --top K
   (--full --verify N also semantically verifies every legal candidate)
 )";
   std::exit(2);
+}
+
+// Driver-level failure: a structured Stage::kCli diagnostic on
+// stderr, with a consistent exit code — 2 for bad invocations
+// (unknown command/flag/op, malformed arguments), 1 for runtime
+// failures (unreadable files).
+[[noreturn]] void cli_error(const std::string& message, int rc) {
+  Diagnostic d;
+  d.stage = Stage::kCli;
+  d.message = message;
+  std::cerr << "inltc: " << d.render() << "\n";
+  std::exit(rc);
 }
 
 std::string read_source(const std::string& path) {
@@ -90,10 +112,7 @@ std::string read_source(const std::string& path) {
     return os.str();
   }
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << "inltc: cannot open " << path << "\n";
-    std::exit(1);
-  }
+  if (!in) cli_error("cannot open " + path, 1);
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
@@ -112,6 +131,8 @@ struct Options {
   i64 skew_bound = 0;     // search space: skew coefficient bound
   int skew_depth = 1;     // search space: skewable window depth
   bool full = false;      // search: generate code for every hit
+  bool cost = false;      // search: score each hit with the cost model
+  i64 top_k = 0;          // search/rank: keep the K best hits by cost
   std::string trace_out;  // Chrome trace-event JSON destination
   bool trace_summary = false;  // per-category span table on stderr
   bool progress = false;  // search: periodic progress on stderr
@@ -121,20 +142,35 @@ struct Options {
 ExecEngine parse_engine(const std::string& name) {
   if (name == "vm") return ExecEngine::kVm;
   if (name == "ast") return ExecEngine::kAstWalker;
-  std::cerr << "inltc: unknown engine '" << name << "' (expected vm or ast)\n";
-  std::exit(2);
+  cli_error("unknown engine '" + name + "' (expected vm or ast)", 2);
+}
+
+// The value of flag `flag`, parsed as a (possibly negative) integer.
+i64 flag_int(const std::string& flag, const std::string& value) {
+  size_t pos = 0;
+  i64 v = 0;
+  try {
+    v = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty())
+    cli_error("flag " + flag + " expects an integer, got '" + value + "'", 2);
+  return v;
 }
 
 Options parse_flags(int argc, char** argv, int first) {
   Options o;
+  auto value = [&](int& i, const std::string& flag) -> std::string {
+    if (++i >= argc) cli_error("flag " + flag + " requires a value", 2);
+    return argv[i];
+  };
   for (int i = first; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--verify") {
-      if (++i >= argc) usage();
-      o.verify_n = std::stoll(argv[i]);
+      o.verify_n = flag_int(a, value(i, a));
     } else if (a == "--engine") {
-      if (++i >= argc) usage();
-      o.engine = parse_engine(argv[i]);
+      o.engine = parse_engine(value(i, a));
     } else if (a.rfind("--engine=", 0) == 0) {
       o.engine = parse_engine(a.substr(9));
     } else if (a == "--raw") {
@@ -148,25 +184,30 @@ Options parse_flags(int argc, char** argv, int first) {
     } else if (a == "--diag-json") {
       o.diag_json = true;
     } else if (a == "--threads") {
-      if (++i >= argc) usage();
-      o.threads = std::stoi(argv[i]);
+      o.threads = static_cast<int>(flag_int(a, value(i, a)));
     } else if (a == "--search") {
       o.search_flag = true;
     } else if (a == "--skew-bound") {
-      if (++i >= argc) usage();
-      o.skew_bound = std::stoll(argv[i]);
+      o.skew_bound = flag_int(a, value(i, a));
     } else if (a == "--skew-depth") {
-      if (++i >= argc) usage();
-      o.skew_depth = std::stoi(argv[i]);
+      o.skew_depth = static_cast<int>(flag_int(a, value(i, a)));
     } else if (a == "--full") {
       o.full = true;
+    } else if (a == "--cost") {
+      o.cost = true;
+    } else if (a == "--top") {
+      o.top_k = flag_int(a, value(i, a));
+      if (o.top_k <= 0) cli_error("flag --top expects a positive count", 2);
     } else if (a == "--trace-out") {
-      if (++i >= argc) usage();
-      o.trace_out = argv[i];
+      o.trace_out = value(i, a);
     } else if (a == "--trace-summary") {
       o.trace_summary = true;
     } else if (a == "--progress") {
       o.progress = true;
+    } else if (a.rfind("--", 0) == 0) {
+      // Unknown flags used to fall through as positional arguments and
+      // be silently ignored; fail loudly instead.
+      cli_error("unknown flag '" + a + "'", 2);
     } else {
       o.args.push_back(a);
     }
@@ -179,10 +220,8 @@ IntMat parse_ops(const IvLayout& layout, const std::vector<std::string>& ops,
   IntMat m = IntMat::identity(layout.size());
   size_t i = from;
   auto need = [&](size_t more) {
-    if (i + more > ops.size()) {
-      std::cerr << "inltc: malformed op near '" << ops[i - 1] << "'\n";
-      std::exit(2);
-    }
+    if (i + more > ops.size())
+      cli_error("malformed op near '" + ops[i - 1] + "'", 2);
   };
   while (i < ops.size()) {
     std::string op = ops[i++];
@@ -218,8 +257,7 @@ IntMat parse_ops(const IvLayout& layout, const std::vector<std::string>& ops,
         perm.push_back(std::stoi(ops[i++]));
       m = mat_mul(statement_reorder(layout, parent, perm), m);
     } else {
-      std::cerr << "inltc: unknown op '" << op << "'\n";
-      std::exit(2);
+      cli_error("unknown op '" + op + "'", 2);
     }
   }
   return m;
@@ -308,6 +346,11 @@ int main(int argc, char** argv) {
   Options opts = parse_flags(argc, argv, first);
   if (opts.search_flag) cmd = "search";
   if (cmd.empty() || opts.args.empty()) usage();
+  // Reject unknown commands before any file is read or analyzed.
+  if (cmd != "analyze" && cmd != "transform" && cmd != "explain" &&
+      cmd != "complete" && cmd != "search" && cmd != "rank" &&
+      cmd != "parallel")
+    cli_error("unknown command '" + cmd + "'", 2);
   std::string path = opts.args[0];
   if (!opts.trace_out.empty() || opts.trace_summary)
     Tracer::global().enable();
@@ -365,11 +408,17 @@ int main(int argc, char** argv) {
       return run_candidate(session, res.matrix, opts);
     }
 
-    if (cmd == "search") {
+    if (cmd == "search" || cmd == "rank") {
+      // `rank` is search configured as the rank pipeline: legality
+      // filter + Complete + Cost stages, keeping the best K hits by
+      // estimated cache lines (default 5).
+      const bool rank = cmd == "rank";
       SearchSpace space{opts.skew_bound, opts.skew_depth};
       SearchOptions search_opts;
-      search_opts.mode =
-          opts.full ? SearchMode::kFull : SearchMode::kLegalityOnly;
+      search_opts.mode = opts.full && !rank ? SearchMode::kFull
+                                            : SearchMode::kLegalityOnly;
+      search_opts.cost = opts.cost || rank;
+      search_opts.top_k = rank && opts.top_k == 0 ? 5 : opts.top_k;
       if (opts.progress) search_opts.progress = render_progress;
       if (opts.full && opts.verify_n > 0) {
         search_opts.verify_params = {{"N", opts.verify_n}};
@@ -389,9 +438,21 @@ int main(int argc, char** argv) {
                   << res.stats.verify_failed << "\n";
       if (res.rejections.rejected > 0)
         std::cout << res.rejections.to_text(deps);
+      const bool ranked = search_opts.top_k > 0;
+      if (ranked)
+        std::cout << "ranking: best " << res.hits.size() << " of "
+                  << res.stats.legal
+                  << " legal candidates by estimated cache lines\n";
+      i64 position = 0;
       for (const SearchHit& h : res.hits) {
-        std::cout << "\nlegal candidate #" << h.index << ":\n"
-                  << mat_to_string(h.matrix);
+        ++position;
+        if (ranked)
+          std::cout << "\nrank " << position << ": candidate #" << h.index
+                    << "\n" << mat_to_string(h.matrix);
+        else
+          std::cout << "\nlegal candidate #" << h.index << ":\n"
+                    << mat_to_string(h.matrix);
+        if (h.cost) std::cout << h.cost->to_text();
         if (!h.result.legality.unsatisfied.empty()) {
           std::cout << "unsatisfied self-dependences:";
           for (int d : h.result.legality.unsatisfied) std::cout << " " << d;
@@ -399,7 +460,7 @@ int main(int argc, char** argv) {
         }
         if (h.result.verify)
           std::cout << "verify: " << h.result.verify->to_string() << "\n";
-        if (opts.full && h.result.program)
+        if (opts.full && !rank && h.result.program)
           std::cout << print_program(*h.result.program);
       }
       dump_stats(opts);
@@ -417,7 +478,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    usage();
+    cli_error("unknown command '" + cmd + "'", 2);
   } catch (const DiagnosedTransformError& e) {
     if (opts.diag_json) {
       DiagnosticEngine render;
