@@ -276,6 +276,7 @@ class VmCompiler {
     {
       VmProgram::LoopInfo& L = vm_.loops_[idx];
       L.slot = next_slot_++;
+      L.var = n.var();
       L.step = n.step();
       INLT_CHECK_MSG(L.step != 0, "loop step must be nonzero");
       L.lower = cbound(n.lower(), /*lower=*/true);

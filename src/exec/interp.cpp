@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "exec/parallel.hpp"
 #include "exec/ufhash.hpp"
 #include "exec/vm.hpp"
 #include "support/check.hpp"
@@ -123,6 +124,9 @@ InterpStats interpret(const Program& p, const std::map<std::string, i64>& params
                  "cache_probe requires the VM engine; observer forces the "
                  "AST walker");
   if ((opts.engine == ExecEngine::kVm || opts.cache_probe) && !opts.observer) {
+    if (opts.num_threads > 1 && !opts.partition.empty() && !opts.cache_probe)
+      return run_partitioned(p, params, mem, opts.partition, opts.num_threads,
+                             opts);
     VmProgram vm(p, params, mem);
     return vm.run(opts);
   }

@@ -86,6 +86,14 @@ struct InterpOptions {
   /// results accumulate into the pointed-to probe, so one probe can
   /// span several runs.
   CacheProbe* cache_probe = nullptr;
+  /// Partitioned parallel execution (exec/parallel.hpp). When
+  /// num_threads > 1 and `partition` names at least one loop of the
+  /// program, the VM chunks those (doall) loops across a shared
+  /// worker pool — bit-identical Memory, summed InterpStats, and the
+  /// instance budget enforced per worker. Serial otherwise. VM engine
+  /// only: an observer or cache probe forces the serial path.
+  int num_threads = 1;
+  std::vector<std::string> partition;
 };
 
 struct InterpStats {

@@ -1,0 +1,147 @@
+// Worker pool, barrier and partitioned-run driver (see parallel.hpp).
+#include "exec/parallel.hpp"
+
+#include <string>
+
+#include "exec/vm.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "support/trace.hpp"
+
+namespace inlt {
+
+namespace {
+constexpr const char* kAborted = "parallel execution aborted";
+}
+
+ExecBarrier::ExecBarrier(int parties) : parties_(parties) {
+  INLT_CHECK_MSG(parties >= 1, "ExecBarrier needs at least one party");
+}
+
+const char* ExecBarrier::aborted_message() { return kAborted; }
+
+void ExecBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborted_) throw Error(kAborted);
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  std::uint64_t gen = generation_;
+  cv_.wait(lk, [&] { return aborted_ || generation_ != gen; });
+  if (aborted_) throw Error(kAborted);
+}
+
+void ExecBarrier::abort() {
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+void WorkerPool::grow(int n) {
+  // Called with mu_ held; new threads capture the current round so
+  // they don't mistake history for a start signal.
+  while (static_cast<int>(threads_.size()) < n) {
+    int id = static_cast<int>(threads_.size());
+    threads_.emplace_back(
+        [this, id, seen = round_] { thread_main(id, seen); });
+  }
+}
+
+void WorkerPool::thread_main(int id, std::uint64_t seen) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    start_cv_.wait(lk, [&] { return shutdown_ || round_ != seen; });
+    if (shutdown_) return;
+    seen = round_;
+    if (id < parties_) {
+      const std::function<void(int)>* task = task_;
+      lk.unlock();
+      (*task)(id);
+      lk.lock();
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(int parties, const std::function<void(int)>& task) {
+  INLT_CHECK_MSG(parties >= 1, "WorkerPool::run needs at least one party");
+  std::lock_guard<std::mutex> serial(run_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    grow(parties);
+    task_ = &task;
+    parties_ = parties;
+    remaining_ = parties;
+    ++round_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+InterpStats run_partitioned(const Program& p,
+                            const std::map<std::string, i64>& params,
+                            Memory& mem,
+                            const std::vector<std::string>& partition,
+                            int num_threads, const InterpOptions& opts) {
+  INLT_CHECK_MSG(!opts.observer && !opts.cache_probe,
+                 "partitioned execution is VM-only: no observer or probe");
+  VmProgram proto(p, params, mem);
+  int marked = proto.mark_partition(partition);
+  if (marked == 0 || num_threads <= 1) return proto.run(opts);
+
+  ScopedSpan span("vm.run_parallel", "exec");
+  ScopedTimer timer("exec.par.run_ns");
+  const int n = num_threads;
+  // Worker 0 drives the prototype; the others get private clones bound
+  // to the same Memory (marks copy along).
+  std::vector<VmProgram> clones(static_cast<size_t>(n) - 1, proto);
+  ExecBarrier barrier(n);
+  std::vector<InterpStats> st(static_cast<size_t>(n));
+  std::vector<std::string> errors(static_cast<size_t>(n));
+  WorkerPool::shared().run(n, [&](int w) {
+    try {
+      VmProgram& vm = w == 0 ? proto : clones[static_cast<size_t>(w) - 1];
+      st[static_cast<size_t>(w)] = vm.run_worker(w, n, barrier, opts);
+    } catch (const std::exception& e) {
+      errors[static_cast<size_t>(w)] = e.what();
+      barrier.abort();  // release the team; their waits throw kAborted
+    }
+  });
+  // Report the originating failure, not the abort echoes it caused.
+  for (const std::string& e : errors)
+    if (!e.empty() && e != kAborted) throw Error(e);
+  for (const std::string& e : errors)
+    if (!e.empty()) throw Error(e);
+
+  InterpStats total;
+  for (const InterpStats& s : st) {
+    total.instances += s.instances;
+    total.loop_iterations += s.loop_iterations;
+    total.guard_failures += s.guard_failures;
+  }
+  Stats::global().add("exec.par.runs");
+  Stats::global().add("exec.par.workers", n);
+  Stats::global().add("exec.par.instances", total.instances);
+  return total;
+}
+
+}  // namespace inlt

@@ -1,0 +1,104 @@
+// Parallel VM driver: doall/wavefront execution over a worker pool.
+//
+// The paper's payoff for exposing a doall level (§1/§7) is running it
+// on multiple cores. run_partitioned() executes a program with the
+// named doall loops block-chunked across a persistent worker pool:
+// every worker runs a private VmProgram clone over the *shared*
+// Memory, marked loops iterate only the worker's contiguous chunk
+// (synchronized by an entry and an exit barrier per activation, which
+// is exactly the wavefront schedule when the marked loop sits under a
+// sequential time loop), and everything outside a chunk executes on
+// worker 0 alone. A doall level writes disjoint locations per
+// iteration, so the final Memory is bit-identical to the serial
+// engine at any thread count; InterpStats sum to the serial stats.
+//
+// The pool is process-wide and serialized: concurrent callers (e.g.
+// search worker threads verifying candidates) take turns instead of
+// multiplying thread counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/interp.hpp"
+
+namespace inlt {
+
+/// Reusable rendezvous for one team of workers. arrive_and_wait()
+/// blocks until all `parties` workers arrive, then releases the
+/// generation together. abort() releases everyone immediately and
+/// permanently — every pending and future wait throws Error — so a
+/// worker that fails cannot strand the others at a barrier.
+class ExecBarrier {
+ public:
+  explicit ExecBarrier(int parties);
+
+  void arrive_and_wait();
+  void abort();
+
+  /// The message carried by Error after abort(); the driver uses it to
+  /// tell the original failure from its echoes in released workers.
+  static const char* aborted_message();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+/// Persistent team of worker threads. run() dispatches task(w) for
+/// w in [0, parties) onto dedicated threads and blocks until all
+/// return; the pool grows on demand and threads persist across runs,
+/// so steady-state dispatch cost is one wakeup per worker. Tasks must
+/// not throw (run_partitioned catches inside the task). Concurrent
+/// run() callers are serialized.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void run(int parties, const std::function<void(int)>& task);
+
+  /// The process-wide pool used by run_partitioned.
+  static WorkerPool& shared();
+
+ private:
+  void grow(int n);
+  void thread_main(int id, std::uint64_t seen);
+
+  std::mutex run_mu_;  // serializes run() callers
+  std::mutex mu_;      // protects round state below
+  std::condition_variable start_cv_, done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t round_ = 0;
+  int parties_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Execute `p` with the loops named in `partition` chunked across
+/// `num_threads` workers of the shared pool. Falls back to the serial
+/// VM when num_threads <= 1 or no named loop exists in the program.
+/// The partition must be doall levels of `p` (see
+/// analyze_target_parallelism); stats are the exact serial stats
+/// (summed over workers), and Memory ends bit-identical to a serial
+/// run. Worker failures (bounds, overflow, budget) abort the team and
+/// rethrow here. Only max_instances is consulted from `opts`, and the
+/// instance budget is enforced per worker.
+InterpStats run_partitioned(const Program& p,
+                            const std::map<std::string, i64>& params,
+                            Memory& mem,
+                            const std::vector<std::string>& partition,
+                            int num_threads, const InterpOptions& opts = {});
+
+}  // namespace inlt

@@ -1,6 +1,7 @@
 #include "exec/verify.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "support/check.hpp"
 #include "support/stats.hpp"
@@ -35,7 +36,8 @@ VerifyResult verify_equivalence(const Program& source,
                                 const Program& transformed,
                                 const std::map<std::string, i64>& params,
                                 FillKind fill_kind, unsigned seed,
-                                double tolerance, ExecEngine engine) {
+                                double tolerance, ExecEngine engine,
+                                const ExecPlan& plan) {
   ScopedSpan span("exec.verify", "exec");
   Memory mem;
   declare_arrays(source, params, mem);
@@ -48,8 +50,11 @@ VerifyResult verify_equivalence(const Program& source,
 
   InterpOptions opts;
   opts.engine = engine;
+  opts.num_threads = plan.threads;
   VerifyResult r;
+  opts.partition = plan.source_partition;
   r.src_instances = interpret(source, params, mem, opts).instances;
+  opts.partition = plan.target_partition;
   r.dst_instances = interpret(transformed, params, mem2, opts).instances;
   r.max_diff = mem.max_abs_diff(mem2);
   r.equivalent =
@@ -64,18 +69,30 @@ VerifyResult verify_equivalence(const Program& source,
 VerifyReference::VerifyReference(const Program& source,
                                  const std::map<std::string, i64>& params,
                                  FillKind fill_kind, unsigned seed,
-                                 double tolerance, ExecEngine engine)
-    : params_(params), tolerance_(tolerance), engine_(engine) {
+                                 double tolerance, ExecEngine engine,
+                                 ExecPlan plan)
+    : params_(params),
+      tolerance_(tolerance),
+      engine_(engine),
+      plan_(std::move(plan)) {
   ScopedSpan span("exec.verify_reference", "exec");
   declare_arrays(source, params_, initial_);
   fill(initial_, fill_kind, seed);
   final_ = initial_;
   InterpOptions opts;
   opts.engine = engine_;
+  opts.num_threads = plan_.threads;
+  opts.partition = plan_.source_partition;
   src_instances_ = interpret(source, params_, final_, opts).instances;
 }
 
 VerifyResult VerifyReference::check(const Program& transformed) const {
+  return check(transformed, plan_.target_partition);
+}
+
+VerifyResult VerifyReference::check(
+    const Program& transformed,
+    const std::vector<std::string>& partition) const {
   ScopedTimer timer("exec.verify.check_ns");
   VerifyResult r;
   r.src_instances = src_instances_;
@@ -87,6 +104,8 @@ VerifyResult VerifyReference::check(const Program& transformed) const {
     // shape mismatch below.
     InterpOptions opts;
     opts.engine = engine_;
+    opts.num_threads = plan_.threads;
+    opts.partition = partition;
     r.dst_instances = interpret(transformed, params_, mem, opts).instances;
     r.max_diff = mem.max_abs_diff(final_);
     r.equivalent =

@@ -17,6 +17,17 @@ enum class FillKind {
   kSpd,     ///< symmetric diagonally-dominant square matrices
 };
 
+/// Parallel-execution plan for verification runs (exec/parallel.hpp).
+/// With threads > 1, each side executes with its doall partition
+/// chunked over the shared worker pool — bit-identical to serial, so
+/// verification verdicts are unchanged, just faster. A side with an
+/// empty partition runs serially.
+struct ExecPlan {
+  int threads = 1;
+  std::vector<std::string> source_partition;
+  std::vector<std::string> target_partition;
+};
+
 struct VerifyResult {
   bool equivalent = false;
   double max_diff = 0.0;
@@ -38,7 +49,8 @@ VerifyResult verify_equivalence(const Program& source,
                                 FillKind fill = FillKind::kSpd,
                                 unsigned seed = 1,
                                 double tolerance = 1e-9,
-                                ExecEngine engine = ExecEngine::kVm);
+                                ExecEngine engine = ExecEngine::kVm,
+                                const ExecPlan& plan = {});
 
 /// The source side of verify_equivalence, computed once: declared and
 /// filled initial memory plus the source program's final state. Checks
@@ -51,12 +63,19 @@ class VerifyReference {
                   const std::map<std::string, i64>& params,
                   FillKind fill = FillKind::kSpd, unsigned seed = 1,
                   double tolerance = 1e-9,
-                  ExecEngine engine = ExecEngine::kVm);
+                  ExecEngine engine = ExecEngine::kVm,
+                  ExecPlan plan = {});
 
   /// Verify one candidate. Execution failures (bounds, budget,
   /// overflow) are captured in VerifyResult::error, not thrown — a
-  /// wrong candidate must not abort a search over many.
+  /// wrong candidate must not abort a search over many. The candidate
+  /// executes with the plan's target partition.
   VerifyResult check(const Program& transformed) const;
+
+  /// Same, with a per-candidate doall partition overriding the plan's
+  /// target partition (search computes one per legal hit).
+  VerifyResult check(const Program& transformed,
+                     const std::vector<std::string>& partition) const;
 
   const std::map<std::string, i64>& params() const { return params_; }
 
@@ -64,6 +83,7 @@ class VerifyReference {
   std::map<std::string, i64> params_;
   double tolerance_;
   ExecEngine engine_;
+  ExecPlan plan_;
   Memory initial_;  ///< declared from the source, filled
   Memory final_;    ///< source-final state
   i64 src_instances_ = 0;

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <string>
 
+#include "exec/parallel.hpp"
 #include "exec/ufhash.hpp"
 #include "exec/vm.hpp"
 #include "support/check.hpp"
@@ -254,6 +255,145 @@ InterpStats VmProgram::run(const InterpOptions& opts) {
         Stats::global().add("exec.vm.instances", st.instances);
         return st;
       }
+    }
+  }
+}
+
+int VmProgram::mark_partition(const std::vector<std::string>& vars) {
+  marked_.assign(loops_.size(), 0);
+  reach_marked_.assign(loops_.size(), 0);
+  for (size_t i = 0; i < loops_.size(); ++i)
+    for (const std::string& v : vars)
+      if (loops_[i].var == v) marked_[i] = 1;
+  // Only the outermost marked loop on any nest path splits; a mark
+  // under another mark is dropped. reach_marked_ records, per loop,
+  // whether its subtree contains a surviving mark (itself included) —
+  // the "is there any work for workers != 0 below here" test.
+  std::vector<int> stack;
+  int count = 0;
+  for (const CInst& in : code_) {
+    if (in.op == COp::kLoopEnter) {
+      bool under = false;
+      for (int a : stack)
+        if (marked_[a]) under = true;
+      if (under) marked_[in.arg] = 0;
+      if (marked_[in.arg]) {
+        ++count;
+        reach_marked_[in.arg] = 1;
+        for (int a : stack) reach_marked_[a] = 1;
+      }
+      stack.push_back(in.arg);
+    } else if (in.op == COp::kLoopNext) {
+      stack.pop_back();
+    }
+  }
+  return count;
+}
+
+InterpStats VmProgram::run_worker(int worker, int nworkers,
+                                  ExecBarrier& barrier,
+                                  const InterpOptions& opts) {
+  // Mirror of run() with chunking on the marked loops; see the header
+  // contract. The probe and observer paths are serial-only.
+  INLT_CHECK_MSG(marked_.size() == loops_.size(),
+                 "run_worker requires mark_partition() first");
+  InterpStats st;
+  probe_ = nullptr;
+  const i64 max_instances = opts.max_instances;
+  const bool main_worker = worker == 0;
+  bool in_chunk = false;  // inside this worker's chunk of a marked loop
+  size_t pc = 0;
+  for (;;) {
+    const CInst& in = code_[pc];
+    switch (in.op) {
+      case COp::kGuards:
+        if (guards_hold(guard_sets_[in.arg])) {
+          ++pc;
+        } else {
+          if (in_chunk || main_worker) ++st.guard_failures;
+          pc = static_cast<size_t>(in.jump);
+        }
+        break;
+      case COp::kLoopEnter: {
+        const LoopInfo& L = loops_[in.arg];
+        if (!in_chunk && marked_[in.arg]) {
+          // One activation of a partitioned loop. Entry barrier first:
+          // serial writes preceding the loop (worker 0) must be
+          // visible before any chunk starts reading.
+          barrier.arrive_and_wait();
+          i64 lo = eval_lower(L.lower);
+          i64 hi = eval_upper(L.upper);
+          if (lo > hi) {
+            // Zero trip: every worker sees the same bounds and skips
+            // without the exit barrier.
+            pc = static_cast<size_t>(in.jump);
+            break;
+          }
+          i64 count =
+              floor_div(checked_sub(hi, lo), L.step) + 1;  // executed iters
+          i64 b = count * worker / nworkers;
+          i64 e = count * (worker + 1) / nworkers;
+          if (b >= e) {
+            // Empty chunk (more workers than iterations): arrive at
+            // the exit barrier immediately and move past the loop.
+            barrier.arrive_and_wait();
+            pc = static_cast<size_t>(in.jump);
+            break;
+          }
+          i64 clo = checked_add(lo, checked_mul(b, L.step));
+          i64 chi = checked_add(lo, checked_mul(e - 1, L.step));
+          env_[L.slot] = clo;
+          hi_[in.arg] = chi;
+          enter_loop(L, clo, chi);
+          ++st.loop_iterations;
+          in_chunk = true;
+          ++pc;
+          break;
+        }
+        if (!in_chunk && !main_worker && !reach_marked_[in.arg]) {
+          pc = static_cast<size_t>(in.jump);  // no work below for us
+          break;
+        }
+        i64 lo = eval_lower(L.lower);
+        i64 hi = eval_upper(L.upper);
+        if (lo > hi) {
+          pc = static_cast<size_t>(in.jump);
+          break;
+        }
+        env_[L.slot] = lo;
+        hi_[in.arg] = hi;
+        enter_loop(L, lo, hi);
+        if (in_chunk || main_worker) ++st.loop_iterations;
+        ++pc;
+        break;
+      }
+      case COp::kLoopNext: {
+        const LoopInfo& L = loops_[in.arg];
+        i64 v = checked_add(env_[L.slot], L.step);
+        if (v > hi_[in.arg]) {
+          if (in_chunk && marked_[in.arg]) {
+            // Chunk complete. Exit barrier: code after the loop may
+            // read what other workers' chunks wrote.
+            in_chunk = false;
+            barrier.arrive_and_wait();
+          }
+          ++pc;  // loop done; falls out past the back-edge
+          break;
+        }
+        env_[L.slot] = v;
+        if (in_chunk || main_worker) ++st.loop_iterations;
+        for (int i = L.adv_begin; i != L.adv_end; ++i)
+          offs_[advances_[i].reg] += advances_[i].delta;
+        pc = static_cast<size_t>(in.jump);
+        break;
+      }
+      case COp::kStmt:
+        if (in_chunk || main_worker)
+          exec_stmt(stmts_[in.arg], st, max_instances);
+        ++pc;
+        break;
+      case COp::kHalt:
+        return st;
     }
   }
 }

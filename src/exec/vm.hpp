@@ -44,6 +44,8 @@
 
 namespace inlt {
 
+class ExecBarrier;  // exec/parallel.hpp
+
 class VmProgram {
  public:
   /// Compile `p` for the given parameter binding and bind array
@@ -62,6 +64,38 @@ class VmProgram {
   /// shapes (e.g. a fresh copy of the same prototype); everything
   /// compiled stays valid.
   void rebind(Memory& mem);
+
+  /// Mark the loops whose variables appear in `vars` for chunked
+  /// partitioning by run_worker. A mark nested inside another mark is
+  /// dropped — only the outermost parallel level on any path splits.
+  /// Returns the number of loops left marked. Marks survive copying,
+  /// so per-worker clones of a marked prototype agree on the schedule.
+  int mark_partition(const std::vector<std::string>& vars);
+
+  /// SPMD worker body for partitioned execution (driven by
+  /// run_partitioned in exec/parallel.hpp; `this` must be worker `w`'s
+  /// private clone of a marked prototype, all clones bound to the same
+  /// Memory). Every worker executes the full control flow so loop
+  /// environments stay consistent, but:
+  ///
+  ///  * a marked loop's iteration range is block-split: worker w runs
+  ///    the contiguous chunk [count*w/n, count*(w+1)/n) of each
+  ///    activation, with a barrier on entry (preceding serial writes
+  ///    must be visible) and on exit (following reads must wait);
+  ///    zero-trip activations are skipped by every worker without
+  ///    barriers (bounds only involve enclosing-loop variables, so all
+  ///    workers agree);
+  ///  * outside any chunk, statements execute on worker 0 only, and
+  ///    workers != 0 skip whole subtrees that contain no marked loop;
+  ///  * stats are counted iff the executing worker owns the work
+  ///    (inside its chunk, or worker 0 elsewhere), so the sum over
+  ///    workers equals the serial run's InterpStats exactly.
+  ///
+  /// A marked loop must be doall: chunks write disjoint locations, so
+  /// the final Memory is bit-identical to the serial run at any worker
+  /// count. The caller must abort the barrier if any worker throws.
+  InterpStats run_worker(int worker, int nworkers, ExecBarrier& barrier,
+                         const InterpOptions& opts);
 
   // -- introspection (tests, benchmarks) --
   /// Accesses whose bounds checks were hoisted to loop entry.
@@ -155,6 +189,7 @@ class VmProgram {
 
   struct LoopInfo {
     int slot = 0;
+    std::string var;  ///< loop variable (partition marks match on it)
     i64 step = 1;
     CBound lower, upper;
     int init_begin = 0, init_end = 0;    // into inits_
@@ -231,6 +266,12 @@ class VmProgram {
   int max_sregs_ = 0;
   i64 hoisted_accesses_ = 0;
   i64 checked_accesses_ = 0;
+
+  // Partition marks (mark_partition): per loop, whether it is chunked
+  // by run_worker, and whether its subtree contains a marked loop
+  // (marked loops count as containing themselves).
+  std::vector<std::uint8_t> marked_;
+  std::vector<std::uint8_t> reach_marked_;
 
   // -- runtime state --
   // Cache-line probe for the current run (null = disabled); shift is

@@ -1,6 +1,7 @@
 #include "model/cost.hpp"
 
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "linalg/gauss.hpp"
@@ -8,6 +9,7 @@
 #include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
+#include "transform/parallel.hpp"
 #include "transform/per_statement.hpp"
 
 namespace inlt {
@@ -120,6 +122,8 @@ CostEstimate estimate_cost(const IvLayout& src, const IntMat& m,
       est.refs.push_back(std::move(rc));
     }
   }
+  est.exec_threads = opts.exec_threads;
+  est.effective_lines = est.total_lines;
   if (span.active()) {
     span.arg("refs", static_cast<i64>(est.refs.size()));
     span.arg("lines", static_cast<i64>(est.total_lines));
@@ -131,6 +135,51 @@ CostEstimate estimate_cost(const IvLayout& src, const IntMat& m,
                            const ModelOptions& opts) {
   AstRecovery rec = recover_ast(src, m);
   return estimate_cost(src, m, rec, opts);
+}
+
+namespace {
+
+// Labels of the statements under some partitioned doall level of the
+// target AST — the statements whose work the exec pool chunks.
+void collect_partitioned_stmts(const Node* n,
+                               const std::set<std::string>& partition,
+                               bool under, std::set<std::string>& out) {
+  if (n->is_stmt()) {
+    if (under) out.insert(n->stmt_data().label);
+    return;
+  }
+  if (n->is_loop() && partition.count(n->var())) under = true;
+  for (const NodePtr& c : n->children())
+    collect_partitioned_stmts(c.get(), partition, under, out);
+}
+
+}  // namespace
+
+CostEstimate estimate_cost(const IvLayout& src, const DependenceSet& deps,
+                           const IntMat& m, const AstRecovery& rec,
+                           const ModelOptions& opts) {
+  CostEstimate est = estimate_cost(src, m, rec, opts);
+  ParallelSchedule sched = analyze_target_parallelism(src, deps, m, rec);
+  est.partition = sched.partition;
+  if (sched.partition.empty() || est.total_lines <= 0) return est;
+
+  const std::set<std::string> part(sched.partition.begin(),
+                                   sched.partition.end());
+  std::set<std::string> par_stmts;
+  for (const NodePtr& root : rec.target->roots())
+    collect_partitioned_stmts(root.get(), part, false, par_stmts);
+
+  double par_lines = 0;
+  for (const RefCost& r : est.refs)
+    if (par_stmts.count(r.stmt)) par_lines += r.lines;
+  est.parallel_fraction = par_lines / est.total_lines;
+  const double t = static_cast<double>(opts.exec_threads > 0
+                                           ? opts.exec_threads
+                                           : 1);
+  est.effective_lines =
+      est.total_lines * ((1.0 - est.parallel_fraction) +
+                         est.parallel_fraction / t);
+  return est;
 }
 
 std::string CostEstimate::to_text() const {
@@ -147,12 +196,28 @@ std::string CostEstimate::to_text() const {
       os << (d ? "," : "") << r.stride_dims[d].to_string();
     os << ")  " << reuse_class_name(r.reuse) << "  lines=" << r.lines << "\n";
   }
+  if (exec_threads > 1) {
+    os << "parallel work: threads=" << exec_threads
+       << "  fraction=" << parallel_fraction
+       << "  effective lines=" << effective_lines << "\n";
+    if (!partition.empty()) {
+      os << "  partition:";
+      for (const std::string& v : partition) os << " " << v;
+      os << "\n";
+    }
+  }
   return os.str();
 }
 
 std::string CostEstimate::to_json() const {
   std::ostringstream os;
-  os << "{\"total_lines\":" << total_lines << ",\"refs\":[";
+  os << "{\"total_lines\":" << total_lines
+     << ",\"effective_lines\":" << effective_lines
+     << ",\"parallel_fraction\":" << parallel_fraction
+     << ",\"exec_threads\":" << exec_threads << ",\"partition\":[";
+  for (size_t i = 0; i < partition.size(); ++i)
+    os << (i ? "," : "") << "\"" << json_escape(partition[i]) << "\"";
+  os << "],\"refs\":[";
   for (size_t i = 0; i < refs.size(); ++i) {
     const RefCost& r = refs[i];
     os << (i ? "," : "") << "{\"stmt\":\"" << json_escape(r.stmt)

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "dependence/analyzer.hpp"
 #include "instance/layout.hpp"
 #include "linalg/rational.hpp"
 #include "transform/block_structure.hpp"
@@ -45,6 +46,13 @@ struct ModelOptions {
   /// Assumed iterations per loop — the stand-in for symbolic N.
   i64 nominal_trip = 64;
   PadMode pad = PadMode::kDiagonal;
+  /// Threads assumed available to the parallel execution engine
+  /// (exec/parallel.hpp). With > 1, the dependence-aware overload
+  /// discounts the line count of statements under a partitioned doall
+  /// level by Amdahl's law (CostEstimate::effective_lines), so ranking
+  /// prefers candidates that expose an outer doall. 1 leaves
+  /// effective_lines == total_lines and the ordering unchanged.
+  int exec_threads = 1;
 };
 
 /// Reuse classification of one reference w.r.t. the innermost loop.
@@ -76,9 +84,24 @@ struct CostEstimate {
   double total_lines = 0;
   std::vector<RefCost> refs;  ///< statement (syntactic) order, write first
 
-  /// Strict weak order: by total_lines. Exact ties (identical scores)
-  /// compare equal; rank search breaks them by candidate index.
+  // Parallel-work term (dependence-aware overload only; otherwise
+  // effective_lines == total_lines and the rest stay at defaults).
+  /// Amdahl-adjusted lines at `exec_threads`: serial share at full
+  /// cost, the share under a partitioned doall divided by the threads.
+  double effective_lines = 0;
+  /// Fraction of total_lines charged to statements under a
+  /// partitioned doall level of the transformed nest.
+  double parallel_fraction = 0;
+  int exec_threads = 1;
+  /// Partitioned doall levels of the candidate (see ParallelSchedule).
+  std::vector<std::string> partition;
+
+  /// Strict weak order: by effective_lines (== total_lines whenever
+  /// the parallel term is off), then total_lines. Exact ties compare
+  /// equal; rank search breaks them by candidate index.
   friend bool operator<(const CostEstimate& a, const CostEstimate& b) {
+    if (a.effective_lines != b.effective_lines)
+      return a.effective_lines < b.effective_lines;
     return a.total_lines < b.total_lines;
   }
 
@@ -101,6 +124,15 @@ CostEstimate estimate_cost(const IvLayout& src, const IntMat& m,
 /// Convenience: recover the AST, then estimate. Throws (like
 /// recover_ast) when the matrix is not block-structured.
 CostEstimate estimate_cost(const IvLayout& src, const IntMat& m,
+                           const ModelOptions& opts = {});
+
+/// Dependence-aware estimate: the base estimate plus the parallel-work
+/// term. The candidate's doall partition (analyze_target_parallelism)
+/// decides which statements parallelize; their line share is divided
+/// by `opts.exec_threads` in effective_lines. With exec_threads == 1
+/// this is exactly the base estimate.
+CostEstimate estimate_cost(const IvLayout& src, const DependenceSet& deps,
+                           const IntMat& m, const AstRecovery& rec,
                            const ModelOptions& opts = {});
 
 }  // namespace inlt

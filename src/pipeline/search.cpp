@@ -13,6 +13,7 @@
 #include "support/trace.hpp"
 #include "transform/exact_legality.hpp"
 #include "transform/incremental.hpp"
+#include "transform/parallel.hpp"
 
 namespace inlt {
 
@@ -207,6 +208,7 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
   if (cost) {
     ModelOptions mopts = sopts.model;
     mopts.pad = opts_.codegen.pad;
+    mopts.exec_threads = sopts.exec_threads;
     HistogramCell* cost_hist = &Stats::global().histogram("search.cost_ns");
     pipe.add(StageKind::kComplete, /*deferred=*/true, [this](Candidate& c) {
       try {
@@ -225,8 +227,8 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
                if (!c.recovery) return;
                const auto s0 = std::chrono::steady_clock::now();
                try {
-                 c.cost.emplace(
-                     estimate_cost(*layout_, c.matrix, *c.recovery, mopts));
+                 c.cost.emplace(estimate_cost(*layout_, deps_, c.matrix,
+                                              *c.recovery, mopts));
                } catch (const Error&) {
                  // Unrankable, not illegal: the hit survives with no
                  // estimate and sorts after every scored one.
@@ -243,10 +245,29 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
       c.rejected = !c.result.legal;
     });
     if (!sopts.verify_params.empty()) {
-      pipe.add(StageKind::kVerify, /*deferred=*/true, [&ref](Candidate& c) {
-        if (c.result.legal && ref && c.result.program)
-          c.result.verify = ref->check(*c.result.program);
-      });
+      const int exec_threads = sopts.exec_threads;
+      pipe.add(StageKind::kVerify, /*deferred=*/true,
+               [this, &ref, exec_threads](Candidate& c) {
+                 if (!(c.result.legal && ref && c.result.program)) return;
+                 // Candidate doall partition for the parallel engine;
+                 // any analysis failure just verifies serially (the
+                 // verdict is thread-count independent either way).
+                 std::vector<std::string> partition;
+                 if (exec_threads > 1) {
+                   try {
+                     AstRecovery rec = c.recovery
+                                           ? std::move(*c.recovery)
+                                           : recover_ast(*layout_, c.matrix);
+                     partition = analyze_target_parallelism(*layout_, deps_,
+                                                            c.matrix, rec)
+                                     .partition;
+                     c.recovery.emplace(std::move(rec));
+                   } catch (const Error&) {
+                     partition.clear();
+                   }
+                 }
+                 c.result.verify = ref->check(*c.result.program, partition);
+               });
     }
   }
   const bool deferred = pipe.has_deferred();
@@ -349,9 +370,16 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
   // bit-identical to the sequential path regardless of thread count.
   if (!pending.empty()) {
     ScopedSpan eval_span("search.evaluate", "search");
-    if (!sopts.verify_params.empty())
+    if (!sopts.verify_params.empty()) {
+      ExecPlan plan;
+      plan.threads = sopts.exec_threads;
+      if (sopts.exec_threads > 1)
+        plan.source_partition =
+            source_parallel_schedule(*layout_, deps_).partition;
       ref.emplace(*program_, sopts.verify_params, sopts.verify_fill,
-                  sopts.verify_seed, /*tolerance=*/1e-9, sopts.verify_engine);
+                  sopts.verify_seed, /*tolerance=*/1e-9, sopts.verify_engine,
+                  plan);
+    }
     auto eval_one = [&](size_t i) {
       Candidate& c = pending[i];
       ScopedSpan cs("search.candidate", "search");

@@ -201,6 +201,14 @@ struct SearchOptions {
   unsigned verify_seed = 1;
   /// Execution engine for verification runs.
   ExecEngine verify_engine = ExecEngine::kVm;
+  /// Worker threads for each verification run (exec/parallel.hpp):
+  /// with > 1, the source reference and every candidate execute with
+  /// their doall levels chunked over the shared exec pool (the
+  /// candidate's partition comes from analyze_target_parallelism on
+  /// its completed matrix). Results are bit-identical to serial at any
+  /// value, so hits and stats do not depend on it. Also forwarded to
+  /// the cost model's parallel-work term when `cost` is active.
+  int exec_threads = 1;
   /// Run the static cost model (model/cost.hpp) on every legal
   /// candidate: adds the Complete + Cost stages to the candidate
   /// pipeline (deferred, on the session's worker threads) and fills

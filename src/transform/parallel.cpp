@@ -1,5 +1,8 @@
 #include "transform/parallel.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "linalg/gauss.hpp"
 
 namespace inlt {
@@ -77,6 +80,152 @@ std::vector<std::string> parallel_loops(const IvLayout& layout,
     if (!carries) out.push_back(layout.positions()[q].loop->var());
   }
   return out;
+}
+
+namespace {
+
+// The "carried at" walk of parallel_loops, in target space: level q of
+// the transformed nest is doall iff for every dependence whose common
+// loops include q, either an outer common entry of M·d is definitely
+// positive (carried further out) or the entry at q is exactly zero
+// with an all-zero resolvable prefix.
+TargetLevel classify_level(const IvLayout& tgt,
+                           const DependenceSet& deps,
+                           const std::vector<DepVector>& tdeps, int q) {
+  TargetLevel lvl;
+  lvl.position = q;
+  lvl.doall = true;
+  for (size_t i = 0; i < deps.deps.size(); ++i) {
+    const Dependence& d = deps.deps[i];
+    std::vector<int> common = tgt.common_loop_positions(d.src, d.dst);
+    if (std::find(common.begin(), common.end(), q) == common.end())
+      continue;  // the dependence lives elsewhere
+    bool carried_outside = false;
+    bool ambiguous_prefix = false;
+    for (int c : common) {
+      if (c == q) break;
+      const DepEntry& e = tdeps[i][c];
+      if (e.definitely_positive()) {
+        carried_outside = true;
+        break;
+      }
+      if (!e.is_zero()) ambiguous_prefix = true;  // may or may not carry
+    }
+    if (carried_outside) continue;
+    const DepEntry& here = tdeps[i][q];
+    if (ambiguous_prefix || !here.is_zero()) {
+      lvl.doall = false;
+      if (lvl.carrier < 0) {
+        lvl.carrier = static_cast<int>(i);
+        lvl.ambiguous = ambiguous_prefix && here.is_zero();
+      }
+    }
+  }
+  return lvl;
+}
+
+struct ScheduleWalk {
+  const IvLayout& tgt;
+  const DependenceSet& deps;
+  const std::vector<DepVector>& tdeps;
+  ParallelSchedule& out;
+
+  // `seq_enclosing` are the sequential target loops on the path to
+  // `n`, outermost first; `under_partition` is true once an enclosing
+  // level has been partitioned (inner doalls then stay unpartitioned —
+  // the chunked driver only splits the outermost parallel level).
+  void walk(const Node* n, int depth, bool under_partition,
+            std::vector<std::string>& seq_enclosing) {
+    if (!n->is_loop()) return;
+    int q = tgt.segment(n).loop_pos;
+    TargetLevel lvl = classify_level(tgt, deps, tdeps, q);
+    lvl.var = n->var();
+    lvl.depth = depth;
+    bool child_under = under_partition;
+    if (lvl.doall && !under_partition) {
+      lvl.partitioned = true;
+      out.partition.push_back(lvl.var);
+      for (const std::string& t : seq_enclosing)
+        if (std::find(out.time_loops.begin(), out.time_loops.end(), t) ==
+            out.time_loops.end())
+          out.time_loops.push_back(t);
+      if (!seq_enclosing.empty()) out.wavefront = true;
+      child_under = true;
+    }
+    out.levels.push_back(lvl);
+    bool pushed = !lvl.doall;
+    if (pushed) seq_enclosing.push_back(lvl.var);
+    for (const NodePtr& c : n->children())
+      walk(c.get(), depth + 1, child_under, seq_enclosing);
+    if (pushed) seq_enclosing.pop_back();
+  }
+};
+
+}  // namespace
+
+ParallelSchedule analyze_target_parallelism(const IvLayout& /*src*/,
+                                            const DependenceSet& deps,
+                                            const IntMat& m,
+                                            const AstRecovery& rec) {
+  const IvLayout& tgt = *rec.target_layout;
+  std::vector<DepVector> tdeps;
+  tdeps.reserve(deps.deps.size());
+  for (const Dependence& d : deps.deps)
+    tdeps.push_back(transform_dep(m, d.vector));
+
+  ParallelSchedule out;
+  ScheduleWalk w{tgt, deps, tdeps, out};
+  std::vector<std::string> seq;
+  for (const NodePtr& root : tgt.program().roots())
+    w.walk(root.get(), 0, false, seq);
+  return out;
+}
+
+ParallelSchedule source_parallel_schedule(const IvLayout& layout,
+                                          const DependenceSet& deps) {
+  IntMat id = IntMat::identity(layout.size());
+  AstRecovery rec = recover_ast(layout, id);
+  return analyze_target_parallelism(layout, deps, id, rec);
+}
+
+std::string ParallelSchedule::to_text(const DependenceSet& deps) const {
+  std::ostringstream os;
+  os << "target levels:\n";
+  for (const TargetLevel& lvl : levels) {
+    os << "  ";
+    for (int i = 0; i < lvl.depth; ++i) os << "  ";
+    os << lvl.var << ": ";
+    if (lvl.doall) {
+      os << (lvl.partitioned ? "doall (partitioned)" : "doall");
+    } else {
+      os << "sequential";
+      if (lvl.carrier >= 0 &&
+          lvl.carrier < static_cast<int>(deps.deps.size())) {
+        const Dependence& d = deps.deps[static_cast<size_t>(lvl.carrier)];
+        os << " (" << (lvl.ambiguous ? "may carry " : "carries ")
+           << dep_kind_name(d.kind) << " " << d.src << " -> " << d.dst
+           << " on " << d.array << ")";
+      }
+    }
+    os << "\n";
+  }
+  if (partition.empty()) {
+    os << "schedule: serial (no doall level)\n";
+    return os.str();
+  }
+  os << "partition:";
+  for (const std::string& v : partition) os << " " << v;
+  os << "\n";
+  if (wavefront) {
+    os << "schedule: wavefront (time";
+    for (const std::string& t : time_loops) os << " " << t;
+    os << " -> parallel";
+    for (const std::string& v : partition) os << " " << v;
+    os << ")\n";
+  } else {
+    os << "schedule: outer doall\n";
+  }
+  return os.str();
 }
 
 }  // namespace inlt

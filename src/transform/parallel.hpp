@@ -9,6 +9,7 @@
 #pragma once
 
 #include "dependence/analyzer.hpp"
+#include "transform/block_structure.hpp"
 
 namespace inlt {
 
@@ -22,5 +23,55 @@ std::vector<IntVec> parallel_row_basis(const IvLayout& layout,
 /// is (up to scale) in the parallel basis.
 std::vector<std::string> parallel_loops(const IvLayout& layout,
                                         const DependenceSet& deps);
+
+/// Classification of one loop level of the transformed nest.
+struct TargetLevel {
+  int position = -1;   ///< position in the target layout
+  std::string var;     ///< loop variable in the target AST
+  int depth = 0;       ///< number of enclosing target loops
+  bool doall = false;  ///< no dependence is carried at this level
+  /// Index into deps.deps of the first dependence carried here
+  /// (meaningful only when !doall).
+  int carrier = -1;
+  /// Sequential only because an outer interval entry could not be
+  /// resolved (the carrier *may* be carried here, not *is*).
+  bool ambiguous = false;
+  /// Selected for chunked parallel execution: the outermost doall
+  /// level on its nest path.
+  bool partitioned = false;
+};
+
+/// A doall/wavefront execution schedule for a transformed nest (§1/§7:
+/// a doall level is a row annihilating every transformed dependence
+/// column that its statements share).
+struct ParallelSchedule {
+  /// Target loop levels in syntactic (depth-first) order.
+  std::vector<TargetLevel> levels;
+  /// Variables of the partitioned levels, syntactic order. Empty means
+  /// serial execution: no doall level exists.
+  std::vector<std::string> partition;
+  /// Sequential target loops enclosing some partitioned level,
+  /// outermost first — the wavefront's time loops.
+  std::vector<std::string> time_loops;
+  /// Some partitioned level runs under a sequential time loop (skewed
+  /// nests: outer time, inner parallel).
+  bool wavefront = false;
+
+  /// Human-readable report; `deps` names the carried dependences.
+  std::string to_text(const DependenceSet& deps) const;
+};
+
+/// Map the dependence columns into target space (M·d) and classify
+/// every transformed loop level as doall or sequential; pick the
+/// outermost doall on each nest path as the partition and derive the
+/// wavefront structure. `rec` must be recover_ast(src, m).
+ParallelSchedule analyze_target_parallelism(const IvLayout& src,
+                                            const DependenceSet& deps,
+                                            const IntMat& m,
+                                            const AstRecovery& rec);
+
+/// Schedule of the source nest as written (identity transform).
+ParallelSchedule source_parallel_schedule(const IvLayout& layout,
+                                          const DependenceSet& deps);
 
 }  // namespace inlt

@@ -98,6 +98,58 @@ TEST(SearchParallel, SinkStreamsInAscendingIndexOrder) {
   EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
 }
 
+TEST(SearchParallel, ExecThreadsDoNotChangeSearchResults) {
+  // Verification through the partitioned exec engine (exec_threads > 1)
+  // must leave hits, verdicts and stats bit-identical: parallel
+  // execution is memcmp-identical to serial, so the search cannot see
+  // the difference. Search workers and exec workers also compose here
+  // (each search worker's verification takes a turn on the exec pool).
+  SearchSpace space{};
+  SearchOptions serial;
+  serial.verify_params = {{"N", 8}};
+  SearchOptions threaded = serial;
+  threaded.exec_threads = 2;
+  SearchResult a = run_search(&gallery::cholesky, 2, space, serial);
+  SearchResult b = run_search(&gallery::cholesky, 2, space, threaded);
+  EXPECT_GT(a.stats.legal, 0);
+  EXPECT_EQ(a.stats.verified, a.stats.legal);
+  EXPECT_EQ(b.stats.verify_failed, 0);
+  expect_identical(a, b);
+}
+
+TEST(SearchParallel, ExecThreadsDoNotChangeRanking) {
+  // Rank mode with exec_threads == 1 must order exactly as before the
+  // parallel-work term existed (effective == total); the same search
+  // at exec_threads > 1 may reorder but must score the same matrices
+  // legal and fill the parallel fields.
+  SearchSpace space{/*skew_bound=*/1, /*skew_depth=*/1};
+  SearchOptions sopts;
+  sopts.mode = SearchMode::kLegalityOnly;
+  sopts.cost = true;
+  SearchOptions threaded = sopts;
+  threaded.exec_threads = 4;
+  SearchResult one = run_search(&gallery::lu, 2, space, sopts);
+  SearchResult four = run_search(&gallery::lu, 2, space, threaded);
+  ASSERT_EQ(one.hits.size(), four.hits.size());
+  for (size_t i = 0; i < one.hits.size(); ++i) {
+    EXPECT_EQ(one.hits[i].index, four.hits[i].index);
+    ASSERT_TRUE(one.hits[i].cost.has_value());
+    ASSERT_TRUE(four.hits[i].cost.has_value());
+    const CostEstimate& c1 = *one.hits[i].cost;
+    const CostEstimate& c4 = *four.hits[i].cost;
+    EXPECT_DOUBLE_EQ(c1.total_lines, c4.total_lines);
+    // exec_threads == 1: the parallel term is a no-op on the score.
+    EXPECT_DOUBLE_EQ(c1.effective_lines, c1.total_lines);
+    // exec_threads == 4: any candidate with a partition scores below
+    // its serial estimate, never above.
+    EXPECT_LE(c4.effective_lines, c4.total_lines);
+    if (!c4.partition.empty() && c4.parallel_fraction > 0) {
+      EXPECT_LT(c4.effective_lines, c4.total_lines);
+    }
+    EXPECT_EQ(c1.partition, c4.partition);
+  }
+}
+
 TEST(SearchParallel, LegalityOnlyModeUnaffectedByThreadCount) {
   SearchOptions sopts;
   sopts.mode = SearchMode::kLegalityOnly;

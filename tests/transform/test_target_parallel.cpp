@@ -1,0 +1,150 @@
+// Target-space parallelism analysis (§1/§7): classify the loop levels
+// of a *transformed* nest as doall or sequential by mapping the
+// dependence columns through M, and derive wavefront schedules for
+// skewed nests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "transform/parallel.hpp"
+#include "transform/transforms.hpp"
+
+namespace inlt {
+namespace {
+
+Program stencil() {
+  // tools/testdata/stencil.loop: the Gauss–Seidel-style recurrence
+  // whose wavefront is the paper's §5.5 skewing payoff.
+  return parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: U(I, J) = U(I - 1, J) + U(I, J - 1)
+  end
+end
+)");
+}
+
+const TargetLevel* level_of(const ParallelSchedule& s,
+                            const std::string& var) {
+  for (const TargetLevel& l : s.levels)
+    if (l.var == var) return &l;
+  return nullptr;
+}
+
+TEST(TargetParallel, StencilSourceHasNoDoall) {
+  Program p = stencil();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  ParallelSchedule s = source_parallel_schedule(layout, deps);
+  ASSERT_EQ(s.levels.size(), 2u);
+  EXPECT_FALSE(level_of(s, "I")->doall);
+  EXPECT_FALSE(level_of(s, "J")->doall);
+  EXPECT_TRUE(s.partition.empty());
+  EXPECT_FALSE(s.wavefront);
+  // Both levels carry a real dependence, and the carrier is recorded.
+  EXPECT_GE(level_of(s, "I")->carrier, 0);
+  EXPECT_GE(level_of(s, "J")->carrier, 0);
+}
+
+TEST(TargetParallel, StencilSkewExposesInnerDoall) {
+  // Skewing I by J (I' = I + J) makes the outer level the wavefront
+  // time loop — it carries both (1,0) and (0,1) — and leaves the
+  // inner J level doall.
+  Program p = stencil();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = loop_skew(layout, "I", "J", 1);
+  AstRecovery rec = recover_ast(layout, m);
+  ParallelSchedule s = analyze_target_parallelism(layout, deps, m, rec);
+  ASSERT_EQ(s.levels.size(), 2u);
+  const TargetLevel* ti = level_of(s, "I");
+  const TargetLevel* tj = level_of(s, "J");
+  ASSERT_NE(ti, nullptr);
+  ASSERT_NE(tj, nullptr);
+  EXPECT_FALSE(ti->doall);
+  EXPECT_TRUE(tj->doall);
+  EXPECT_TRUE(tj->partitioned);
+  EXPECT_EQ(s.partition, (std::vector<std::string>{"J"}));
+  EXPECT_TRUE(s.wavefront);
+  EXPECT_EQ(s.time_loops, (std::vector<std::string>{"I"}));
+}
+
+TEST(TargetParallel, SourceScheduleMatchesParallelLoops) {
+  // Under the identity transform the per-level doall classification
+  // must agree with the source-space parallel_loops() detector.
+  for (Program p : {gallery::cholesky(), gallery::lu(),
+                    gallery::simplified_cholesky(), stencil()}) {
+    IvLayout layout(p);
+    DependenceSet deps = analyze_dependences(layout);
+    std::vector<std::string> doall = parallel_loops(layout, deps);
+    ParallelSchedule s = source_parallel_schedule(layout, deps);
+    for (const TargetLevel& l : s.levels) {
+      bool in_doall = std::find(doall.begin(), doall.end(), l.var) !=
+                      doall.end();
+      EXPECT_EQ(l.doall, in_doall) << "level " << l.var;
+    }
+  }
+}
+
+TEST(TargetParallel, CholeskyPartitionsBothInnerSubtrees) {
+  // Right-looking Cholesky: K is sequential; the scaling loop I and
+  // the update loop J are each the outermost doall of their subtree,
+  // so both are partitioned — a wavefront over the K time loop. L sits
+  // under the already-partitioned J and stays unpartitioned.
+  Program p = gallery::cholesky();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  ParallelSchedule s = source_parallel_schedule(layout, deps);
+  EXPECT_FALSE(level_of(s, "K")->doall);
+  EXPECT_TRUE(level_of(s, "I")->partitioned);
+  EXPECT_TRUE(level_of(s, "J")->partitioned);
+  EXPECT_TRUE(level_of(s, "L")->doall);
+  EXPECT_FALSE(level_of(s, "L")->partitioned);
+  EXPECT_TRUE(s.wavefront);
+  EXPECT_EQ(s.time_loops, (std::vector<std::string>{"K"}));
+}
+
+TEST(TargetParallel, OuterDoallIsNotAWavefront) {
+  // A fully parallel nest partitions the outermost level only, with no
+  // time loops.
+  Program p = parse_program(R"(
+param N
+do I = 1, N
+  do J = 1, N
+    S1: A(I, J) = B(I, J) * 2.0
+  end
+end
+)");
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  ParallelSchedule s = source_parallel_schedule(layout, deps);
+  EXPECT_EQ(s.partition, (std::vector<std::string>{"I"}));
+  EXPECT_TRUE(level_of(s, "J")->doall);
+  EXPECT_FALSE(level_of(s, "J")->partitioned);
+  EXPECT_FALSE(s.wavefront);
+  EXPECT_TRUE(s.time_loops.empty());
+}
+
+TEST(TargetParallel, ToTextReportsScheduleShape) {
+  Program p = stencil();
+  IvLayout layout(p);
+  DependenceSet deps = analyze_dependences(layout);
+  IntMat m = loop_skew(layout, "I", "J", 1);
+  AstRecovery rec = recover_ast(layout, m);
+  ParallelSchedule s = analyze_target_parallelism(layout, deps, m, rec);
+  std::string text = s.to_text(deps);
+  EXPECT_NE(text.find("J: doall (partitioned)"), std::string::npos) << text;
+  EXPECT_NE(text.find("I: sequential"), std::string::npos) << text;
+  EXPECT_NE(text.find("wavefront (time I -> parallel J)"), std::string::npos)
+      << text;
+
+  ParallelSchedule serial = source_parallel_schedule(layout, deps);
+  EXPECT_NE(serial.to_text(deps).find("serial (no doall level)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace inlt

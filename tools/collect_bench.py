@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Merge per-benchmark BENCH_*.json reports into one trajectory summary.
+
+Every bench binary in bench/ writes a self-describing JSON report
+(BENCH_search.json, BENCH_interp.json, BENCH_parallel.json, ...). CI
+uploads each one, but the run's perf picture is easier to consume as a
+single file: this script merges them into BENCH_trajectory.json with a
+short headline per benchmark (the benchmark's own top-line ratio, when
+its schema carries one) plus the full per-benchmark payloads.
+
+Usage: collect_bench.py [--out BENCH_trajectory.json] BENCH_*.json
+Missing or malformed inputs are recorded as errors in the summary, not
+fatal: a partial trajectory still uploads. Exits 1 only when no input
+could be read at all.
+"""
+
+import argparse
+import json
+import sys
+
+
+def headline(report):
+    """Best-effort one-line summary of one benchmark's report."""
+    name = report.get("benchmark", "?")
+    kernels = report.get("kernels")
+    if isinstance(kernels, list):
+        parts = []
+        for k in kernels:
+            if not isinstance(k, dict):
+                continue
+            kname = k.get("name", "?")
+            for key in ("speedup_8t_at_largest", "speedup_at_largest",
+                        "speedup"):
+                if key in k:
+                    parts.append(f"{kname} {k[key]:.2f}x")
+                    break
+        if parts:
+            return f"{name}: " + ", ".join(parts)
+    for key in ("summary", "headline"):
+        if key in report:
+            return f"{name}: {report[key]}"
+    return name
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("inputs", nargs="+", help="BENCH_*.json reports")
+    ap.add_argument("--out", default="BENCH_trajectory.json",
+                    help="merged output path")
+    args = ap.parse_args()
+
+    benchmarks = {}
+    errors = {}
+    for path in args.inputs:
+        if path == args.out:
+            continue  # a previous trajectory is not an input
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, ValueError) as e:
+            errors[path] = str(e)
+            continue
+        name = report.get("benchmark") or path
+        benchmarks[name] = report
+
+    if not benchmarks and errors:
+        for path, err in errors.items():
+            print(f"collect_bench: {path}: {err}", file=sys.stderr)
+        print("collect_bench: no readable input", file=sys.stderr)
+        return 1
+
+    trajectory = {
+        "benchmarks": benchmarks,
+        "headlines": [headline(r) for r in benchmarks.values()],
+    }
+    if errors:
+        trajectory["errors"] = errors
+
+    with open(args.out, "w") as f:
+        json.dump(trajectory, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    for line in trajectory["headlines"]:
+        print(f"collect_bench: {line}")
+    print(f"collect_bench: wrote {args.out} "
+          f"({len(benchmarks)} benchmarks, {len(errors)} errors)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,10 @@
 //                                              check legality, generate
 //   inltc complete  <file> [loop names...]     §6 completion from partial
 //                                              unit rows (outermost first)
-//   inltc parallel  <file>                     §7 parallel directions
+//   inltc parallel  <file> [...ops]            §7 parallel directions and
+//                                              the doall/wavefront schedule;
+//                                              with ops, also the schedule
+//                                              of the transformed nest
 //   inltc search    <file>                     sweep permutations × skews
 //                                              through the pruning search
 //                                              driver, list legal candidates
@@ -30,7 +33,14 @@
 //        --pad-zero   zero padding instead of diagonal (ablation)
 //        --stats      dump pipeline counters and timers to stderr
 //        --diag-json  print structured diagnostics as JSON on stdout
-//        --threads N  evaluate_all worker threads (0 = hardware)
+//        --threads N  search/evaluate worker threads (positive; default
+//                     is the hardware count)
+//        --exec-threads N  execution-engine worker threads (positive;
+//                     default 1 = serial): --verify runs and search
+//                     verification chunk each doall level over a shared
+//                     worker pool (exec/parallel.hpp), bit-identical to
+//                     serial; rank/search scoring discounts the parallel
+//                     share of each candidate by this thread count
 //        --trace-out F  write a Chrome trace-event JSON of the run to F
 //                       (load in Perfetto / chrome://tracing)
 //        --trace-summary  per-category span table on stderr
@@ -78,15 +88,16 @@ commands:
   analyze   <file>                 dependence matrix, layout, doall loops
   transform <file> <ops...>        apply ops, check legality, generate code
   complete  <file> [loops...]      complete a partial transformation (§6)
-  parallel  <file>                 parallel directions (§7)
+  parallel  <file> [ops...]        parallel directions and doall/wavefront
+                                   schedule (§7), before and after ops
   search    <file>                 sweep permutations x skews, list legal ones
   rank      <file>                 rank the space by the static cost model
   explain   <file> <ops...>        per-dependence legality provenance
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
 flags: --verify N | --engine {vm,ast} | --raw | --exact | --pad-zero
-       --stats | --diag-json | --threads N | --search | --trace-out F
-       --trace-summary | --progress
+       --stats | --diag-json | --threads N | --exec-threads N | --search
+       --trace-out F | --trace-summary | --progress
 search/rank flags: --skew-bound B | --skew-depth D | --full | --cost | --top K
   (--full --verify N also semantically verifies every legal candidate)
 )";
@@ -127,6 +138,7 @@ struct Options {
   bool diag_json = false;
   PadMode pad = PadMode::kDiagonal;
   int threads = 0;        // SessionOptions::threads (0 = hardware)
+  int exec_threads = 1;   // execution-engine workers (1 = serial)
   bool search_flag = false;  // --search: alias for the search command
   i64 skew_bound = 0;     // search space: skew coefficient bound
   int skew_depth = 1;     // search space: skewable window depth
@@ -145,6 +157,12 @@ ExecEngine parse_engine(const std::string& name) {
   cli_error("unknown engine '" + name + "' (expected vm or ast)", 2);
 }
 
+// The one validated thread knob: every thread count in the driver —
+// search workers (--threads) and the exec pool (--exec-threads) —
+// parses through here, and zero or negative counts are rejected with a
+// Stage::kCli diagnostic instead of silently meaning something.
+int flag_threads(const std::string& flag, const std::string& value);
+
 // The value of flag `flag`, parsed as a (possibly negative) integer.
 i64 flag_int(const std::string& flag, const std::string& value) {
   size_t pos = 0;
@@ -157,6 +175,15 @@ i64 flag_int(const std::string& flag, const std::string& value) {
   if (pos != value.size() || value.empty())
     cli_error("flag " + flag + " expects an integer, got '" + value + "'", 2);
   return v;
+}
+
+int flag_threads(const std::string& flag, const std::string& value) {
+  i64 v = flag_int(flag, value);
+  if (v <= 0)
+    cli_error("flag " + flag + " expects a positive thread count, got '" +
+                  value + "'",
+              2);
+  return static_cast<int>(v);
 }
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -184,7 +211,9 @@ Options parse_flags(int argc, char** argv, int first) {
     } else if (a == "--diag-json") {
       o.diag_json = true;
     } else if (a == "--threads") {
-      o.threads = static_cast<int>(flag_int(a, value(i, a)));
+      o.threads = flag_threads(a, value(i, a));
+    } else if (a == "--exec-threads") {
+      o.exec_threads = flag_threads(a, value(i, a));
     } else if (a == "--search") {
       o.search_flag = true;
     } else if (a == "--skew-bound") {
@@ -293,12 +322,12 @@ void render_progress(const SearchProgress& p) {
 }
 
 int emit_and_verify(const Program& source, const Program& result,
-                    const Options& opts) {
+                    const Options& opts, const ExecPlan& plan) {
   std::cout << print_program(result);
   if (opts.verify_n > 0) {
     VerifyResult v =
         verify_equivalence(source, result, {{"N", opts.verify_n}},
-                           FillKind::kSpd, 1, 1e-9, opts.engine);
+                           FillKind::kSpd, 1, 1e-9, opts.engine, plan);
     TraceCheckResult t =
         check_dependence_order(source, result, {{"N", opts.verify_n}});
     std::cerr << "verify(N=" << opts.verify_n << "): " << v.to_string()
@@ -310,6 +339,28 @@ int emit_and_verify(const Program& source, const Program& result,
   return 0;
 }
 
+// Doall partitions for both sides of a --verify run at --exec-threads
+// N: the source schedule as written and the candidate's target-space
+// schedule. Analysis failures just mean serial verification.
+ExecPlan exec_plan(TransformSession& session, const IntMat& m,
+                   const Options& opts) {
+  ExecPlan plan;
+  plan.threads = opts.exec_threads;
+  if (opts.exec_threads <= 1) return plan;
+  const IvLayout& layout = session.layout();
+  const DependenceSet& deps = session.dependences();
+  try {
+    plan.source_partition = source_parallel_schedule(layout, deps).partition;
+    AstRecovery rec = recover_ast(layout, m);
+    plan.target_partition =
+        analyze_target_parallelism(layout, deps, m, rec).partition;
+  } catch (const Error&) {
+    plan.source_partition.clear();
+    plan.target_partition.clear();
+  }
+  return plan;
+}
+
 // Evaluate `m` through the session; emit the program on success and
 // the diagnostics (prose to stderr, or JSON to stdout under
 // --diag-json) on failure.
@@ -317,7 +368,8 @@ int run_candidate(TransformSession& session, const IntMat& m,
                   const Options& opts) {
   CandidateResult r = session.evaluate(m);
   if (r.legal) {
-    int rc = emit_and_verify(session.program(), *r.program, opts);
+    int rc = emit_and_verify(session.program(), *r.program, opts,
+                             exec_plan(session, m, opts));
     dump_stats(opts);
     return rc;
   }
@@ -420,6 +472,7 @@ int main(int argc, char** argv) {
       search_opts.cost = opts.cost || rank;
       search_opts.top_k = rank && opts.top_k == 0 ? 5 : opts.top_k;
       if (opts.progress) search_opts.progress = render_progress;
+      search_opts.exec_threads = opts.exec_threads;
       if (opts.full && opts.verify_n > 0) {
         search_opts.verify_params = {{"N", opts.verify_n}};
         search_opts.verify_engine = opts.engine;
@@ -474,6 +527,16 @@ int main(int argc, char** argv) {
       std::cout << "\nparallel direction basis:\n";
       for (const IntVec& r : parallel_row_basis(layout, deps))
         std::cout << "  " << vec_to_string(r) << "\n";
+      std::cout << "\nsource schedule:\n"
+                << source_parallel_schedule(layout, deps).to_text(deps);
+      if (opts.args.size() > 1) {
+        IntMat m = parse_ops(layout, opts.args, 1);
+        std::cerr << "matrix:\n" << mat_to_string(m) << "\n";
+        AstRecovery rec = recover_ast(layout, m);
+        std::cout << "\ntransformed schedule:\n"
+                  << analyze_target_parallelism(layout, deps, m, rec)
+                         .to_text(deps);
+      }
       dump_stats(opts);
       return 0;
     }
