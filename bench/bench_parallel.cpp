@@ -31,6 +31,7 @@
 #include "exec/interp.hpp"
 #include "ir/gallery.hpp"
 #include "ir/parser.hpp"
+#include "support/profile.hpp"
 #include "transform/parallel.hpp"
 #include "transform/transforms.hpp"
 
@@ -159,10 +160,18 @@ Run measure(const Kernel& k, const std::map<std::string, i64>& params,
 int main(int argc, char** argv) {
   double budget_s = 0.25;
   std::string out_path = "BENCH_parallel.json";
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg == "--profile") {
+      // Attach the execution profiler's per-thread-count report
+      // (utilization, barrier share, measured parallel fraction) to
+      // each timed entry. The profiler's clock reads ride inside the
+      // timed region, so --profile numbers are not comparable to
+      // unprofiled ones — the CI regression gate runs without it.
+      profile = true;
     } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
       double v = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
       if (v > 0) budget_s = arg.back() == 'x' ? std::min(0.25, 0.05 * v) : v;
@@ -199,7 +208,13 @@ int main(int argc, char** argv) {
       js << "{\"n\":" << sizes[s] << ",\"threads\":[";
       double serial_per_run = 0;
       for (size_t t = 0; t < threads.size(); ++t) {
+        const bool prof_this = profile && threads[t] > 1;
+        if (prof_this) {
+          ExecProfiler::global().clear();
+          ExecProfiler::global().enable();
+        }
         Run r = measure(k, params, proto, threads[t], budget_s);
+        if (prof_this) ExecProfiler::global().disable();
         if (threads[t] == 1) serial_per_run = r.per_run();
         double speedup =
             r.per_run() > 0 ? serial_per_run / r.per_run() : 0;
@@ -215,7 +230,16 @@ int main(int argc, char** argv) {
         js << "{\"threads\":" << threads[t] << ",\"seconds\":" << r.seconds
            << ",\"runs\":" << r.runs << ",\"instances\":" << r.instances
            << ",\"seconds_per_run\":" << r.per_run()
-           << ",\"speedup\":" << speedup << ",\"bit_identical\":true}";
+           << ",\"speedup\":" << speedup << ",\"bit_identical\":true";
+        if (prof_this && ExecProfiler::global().report_count() > 0) {
+          ProfileReport rep = ExecProfiler::global().merged();
+          js << ",\"profile\":{\"avg_utilization\":" << rep.avg_utilization()
+             << ",\"load_imbalance\":" << rep.load_imbalance()
+             << ",\"barrier_share\":" << rep.barrier_share()
+             << ",\"measured_parallel_fraction\":"
+             << rep.measured_parallel_fraction() << "}";
+        }
+        js << "}";
       }
       js << "]}";
     }

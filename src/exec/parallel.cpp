@@ -1,10 +1,14 @@
 // Worker pool, barrier and partitioned-run driver (see parallel.hpp).
 #include "exec/parallel.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <string>
+#include <utility>
 
 #include "exec/vm.hpp"
 #include "support/check.hpp"
+#include "support/profile.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
 
@@ -117,7 +121,43 @@ InterpStats run_partitioned(const Program& p,
   ExecBarrier barrier(n);
   std::vector<InterpStats> st(static_cast<size_t>(n));
   std::vector<std::string> errors(static_cast<size_t>(n));
+
+  // Profiling is decided once per run: workers only carry a sink when
+  // the profiler was enabled at dispatch. The counter-track atomics
+  // are installed whenever either profiler or tracer is on — workers
+  // re-check Tracer::enabled() per chunk before touching them.
+  const bool profiled = ExecProfiler::enabled();
+  const bool traced = Tracer::enabled();
+  std::vector<WorkerProfile> wp;
+  HistogramCell* chunk_hist = nullptr;
+  HistogramCell* wait_hist = nullptr;
+  std::atomic<int> active_workers{0};
+  std::atomic<i64> chunks_done{0};
+  if (profiled) {
+    wp.resize(static_cast<size_t>(n));
+    for (int w = 0; w < n; ++w) wp[static_cast<size_t>(w)].worker = w;
+    chunk_hist = &Stats::global().histogram("exec.par.chunk_ns");
+    wait_hist = &Stats::global().histogram("exec.par.barrier_wait_ns");
+  }
+  if (profiled || traced) {
+    for (int w = 0; w < n; ++w) {
+      VmProgram::WorkerInstr wi;
+      if (profiled) {
+        wi.prof = &wp[static_cast<size_t>(w)];
+        wi.chunk_ns = chunk_hist;
+        wi.wait_ns = wait_hist;
+      }
+      wi.active_workers = &active_workers;
+      wi.chunks_done = &chunks_done;
+      VmProgram& vm = w == 0 ? proto : clones[static_cast<size_t>(w) - 1];
+      vm.set_instrumentation(wi);
+    }
+  }
+
+  const i64 wall_t0 = profiled ? profile_now_ns() : 0;
   WorkerPool::shared().run(n, [&](int w) {
+    if (traced)
+      Tracer::global().set_thread_name("exec worker " + std::to_string(w));
     try {
       VmProgram& vm = w == 0 ? proto : clones[static_cast<size_t>(w) - 1];
       st[static_cast<size_t>(w)] = vm.run_worker(w, n, barrier, opts);
@@ -126,6 +166,8 @@ InterpStats run_partitioned(const Program& p,
       barrier.abort();  // release the team; their waits throw kAborted
     }
   });
+  const i64 wall_ns = profiled ? profile_now_ns() - wall_t0 : 0;
+
   // Report the originating failure, not the abort echoes it caused.
   for (const std::string& e : errors)
     if (!e.empty() && e != kAborted) throw Error(e);
@@ -141,6 +183,45 @@ InterpStats run_partitioned(const Program& p,
   Stats::global().add("exec.par.runs");
   Stats::global().add("exec.par.workers", n);
   Stats::global().add("exec.par.instances", total.instances);
+
+  if (profiled) {
+    ProfileReport rep;
+    rep.workers = n;
+    rep.wall_ns = wall_ns;
+    // Named levels in nest order; per-worker level tallies (indexed by
+    // internal VM loop id while recording) fold onto them here.
+    std::vector<std::pair<int, std::string>> marks = proto.marked_loops();
+    for (const auto& [id, var] : marks) {
+      LevelProfile lp;
+      lp.var = var;
+      rep.levels.push_back(std::move(lp));
+    }
+    for (int w = 0; w < n; ++w) {
+      WorkerProfile& p = wp[static_cast<size_t>(w)];
+      p.instances = st[static_cast<size_t>(w)].instances;
+      p.loop_iterations = st[static_cast<size_t>(w)].loop_iterations;
+      std::vector<LevelTally> by_level(marks.size());
+      for (size_t m = 0; m < marks.size(); ++m) {
+        int id = marks[m].first;
+        if (static_cast<size_t>(id) < p.levels.size())
+          by_level[m] = p.levels[static_cast<size_t>(id)];
+        LevelProfile& lp = rep.levels[m];
+        lp.chunks += by_level[m].chunks;
+        lp.busy_ns += by_level[m].busy_ns;
+        lp.max_worker_busy_ns =
+            std::max(lp.max_worker_busy_ns, by_level[m].busy_ns);
+        // Every worker sees every activation; count it once (worker 0).
+        if (w == 0) lp.activations = by_level[m].activations;
+      }
+      p.levels = std::move(by_level);
+      Stats::global().add(
+          "exec.par.worker" + std::to_string(w) + ".busy_ns", p.busy_ns);
+      Stats::global().add(
+          "exec.par.worker" + std::to_string(w) + ".chunks", p.chunks);
+      rep.per_worker.push_back(std::move(p));
+    }
+    ExecProfiler::global().add_report(std::move(rep));
+  }
   return total;
 }
 

@@ -94,7 +94,10 @@ class WorkerPool {
 /// (summed over workers), and Memory ends bit-identical to a serial
 /// run. Worker failures (bounds, overflow, budget) abort the team and
 /// rethrow here. Only max_instances is consulted from `opts`, and the
-/// instance budget is enforced per worker.
+/// instance budget is enforced per worker. When the execution
+/// profiler is enabled (support/profile.hpp), each partitioned run
+/// appends a ProfileReport — per-worker busy/barrier-wait time, chunk
+/// counts and per-level tallies — to ExecProfiler::global().
 InterpStats run_partitioned(const Program& p,
                             const std::map<std::string, i64>& params,
                             Memory& mem,

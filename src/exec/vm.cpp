@@ -10,12 +10,14 @@
 // for bit.
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "exec/parallel.hpp"
 #include "exec/ufhash.hpp"
 #include "exec/vm.hpp"
 #include "support/check.hpp"
+#include "support/profile.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
 
@@ -192,22 +194,54 @@ void VmProgram::probe_lines(const StmtInfo& s) {
   }
 }
 
-InterpStats VmProgram::run(const InterpOptions& opts) {
-  ScopedSpan span("vm.run", "exec");
-  ScopedTimer timer("exec.vm.run_ns");
-  InterpStats st;
-  probe_ = opts.cache_probe;
-  if (probe_) {
-    INLT_CHECK_MSG(probe_->line_elems > 0 &&
-                       (probe_->line_elems & (probe_->line_elems - 1)) == 0,
-                   "CacheProbe::line_elems must be a power of two");
-    probe_shift_ = 0;
-    while ((i64{1} << probe_shift_) < probe_->line_elems) ++probe_shift_;
+namespace {
+
+// Cached per-opcode / per-depth histogram cells for the profiled
+// dispatch loop (run_impl<true>). HistogramCell references from the
+// global registry are stable forever, so one lookup per name suffices.
+struct OpHists {
+  HistogramCell* guards;
+  HistogramCell* loop_enter;
+  HistogramCell* loop_next;
+  HistogramCell* stmt;
+  std::vector<HistogramCell*> depth;
+
+  OpHists()
+      : guards(&Stats::global().histogram("vm.op.guards_ns")),
+        loop_enter(&Stats::global().histogram("vm.op.loop_enter_ns")),
+        loop_next(&Stats::global().histogram("vm.op.loop_next_ns")),
+        stmt(&Stats::global().histogram("vm.op.stmt_ns")) {}
+
+  HistogramCell* depth_cell(int d) {
+    if (static_cast<size_t>(d) >= depth.size())
+      depth.resize(static_cast<size_t>(d) + 1, nullptr);
+    if (!depth[d])
+      depth[d] = &Stats::global().histogram("vm.stmt.depth" +
+                                            std::to_string(d) + "_ns");
+    return depth[d];
   }
+};
+
+}  // namespace
+
+template <bool kProfile>
+InterpStats VmProgram::run_impl(const InterpOptions& opts) {
+  InterpStats st;
   const i64 max_instances = opts.max_instances;
+  // Per-run cell cache: name lookups happen once per profiled run, and
+  // keeping it run-local (not static) makes concurrent profiled runs
+  // race-free — the cells themselves are atomic.
+  std::optional<OpHists> cells;
+  if constexpr (kProfile) cells.emplace();
+  OpHists* hist = cells ? &*cells : nullptr;
+  int depth = 0;  // loop nesting depth of the current pc (profiled only)
+  (void)hist;     // unused in the !kProfile instantiation
+  (void)depth;
   size_t pc = 0;
   for (;;) {
     const CInst& in = code_[pc];
+    i64 t0 = 0;
+    if constexpr (kProfile) t0 = profile_now_ns();
     switch (in.op) {
       case COp::kGuards:
         if (guards_hold(guard_sets_[in.arg])) {
@@ -229,6 +263,7 @@ InterpStats VmProgram::run(const InterpOptions& opts) {
         hi_[in.arg] = hi;
         enter_loop(L, lo, hi);
         ++st.loop_iterations;
+        if constexpr (kProfile) ++depth;
         ++pc;
         break;
       }
@@ -236,6 +271,7 @@ InterpStats VmProgram::run(const InterpOptions& opts) {
         const LoopInfo& L = loops_[in.arg];
         i64 v = checked_add(env_[L.slot], L.step);
         if (v > hi_[in.arg]) {
+          if constexpr (kProfile) --depth;
           ++pc;  // loop done; falls out past the back-edge
           break;
         }
@@ -250,13 +286,48 @@ InterpStats VmProgram::run(const InterpOptions& opts) {
         exec_stmt(stmts_[in.arg], st, max_instances);
         ++pc;
         break;
-      case COp::kHalt: {
-        Stats::global().add("exec.vm.runs");
-        Stats::global().add("exec.vm.instances", st.instances);
+      case COp::kHalt:
         return st;
+    }
+    if constexpr (kProfile) {
+      i64 dt = profile_now_ns() - t0;
+      switch (in.op) {
+        case COp::kGuards:
+          hist->guards->record(dt);
+          break;
+        case COp::kLoopEnter:
+          hist->loop_enter->record(dt);
+          break;
+        case COp::kLoopNext:
+          hist->loop_next->record(dt);
+          break;
+        case COp::kStmt:
+          hist->stmt->record(dt);
+          hist->depth_cell(depth)->record(dt);
+          break;
+        case COp::kHalt:
+          break;  // unreachable: kHalt returned above
       }
     }
   }
+}
+
+InterpStats VmProgram::run(const InterpOptions& opts) {
+  ScopedSpan span("vm.run", "exec");
+  ScopedTimer timer("exec.vm.run_ns");
+  probe_ = opts.cache_probe;
+  if (probe_) {
+    INLT_CHECK_MSG(probe_->line_elems > 0 &&
+                       (probe_->line_elems & (probe_->line_elems - 1)) == 0,
+                   "CacheProbe::line_elems must be a power of two");
+    probe_shift_ = 0;
+    while ((i64{1} << probe_shift_) < probe_->line_elems) ++probe_shift_;
+  }
+  InterpStats st =
+      opts.profile ? run_impl<true>(opts) : run_impl<false>(opts);
+  Stats::global().add("exec.vm.runs");
+  Stats::global().add("exec.vm.instances", st.instances);
+  return st;
 }
 
 int VmProgram::mark_partition(const std::vector<std::string>& vars) {
@@ -290,6 +361,15 @@ int VmProgram::mark_partition(const std::vector<std::string>& vars) {
   return count;
 }
 
+std::vector<std::pair<int, std::string>> VmProgram::marked_loops() const {
+  std::vector<std::pair<int, std::string>> out;
+  for (const CInst& in : code_)
+    if (in.op == COp::kLoopEnter && in.arg < static_cast<int>(marked_.size()) &&
+        marked_[in.arg])
+      out.emplace_back(in.arg, loops_[in.arg].var);
+  return out;
+}
+
 InterpStats VmProgram::run_worker(int worker, int nworkers,
                                   ExecBarrier& barrier,
                                   const InterpOptions& opts) {
@@ -317,10 +397,21 @@ InterpStats VmProgram::run_worker(int worker, int nworkers,
       case COp::kLoopEnter: {
         const LoopInfo& L = loops_[in.arg];
         if (!in_chunk && marked_[in.arg]) {
-          // One activation of a partitioned loop. Entry barrier first:
-          // serial writes preceding the loop (worker 0) must be
-          // visible before any chunk starts reading.
+          // One activation of a partitioned loop. The whole per-chunk
+          // cost of disabled instrumentation is these two gates: a
+          // plain pointer test and one relaxed atomic load.
+          WorkerProfile* prof = instr_.prof;
+          const bool traced = Tracer::enabled();
+          // Entry barrier first: serial writes preceding the loop
+          // (worker 0) must be visible before any chunk starts
+          // reading.
+          i64 t0 = prof ? profile_now_ns() : 0;
           barrier.arrive_and_wait();
+          if (prof) {
+            i64 waited = profile_now_ns() - t0;
+            prof->barrier_wait_ns += waited;
+            if (instr_.wait_ns) instr_.wait_ns->record(waited);
+          }
           i64 lo = eval_lower(L.lower);
           i64 hi = eval_upper(L.upper);
           if (lo > hi) {
@@ -333,10 +424,22 @@ InterpStats VmProgram::run_worker(int worker, int nworkers,
               floor_div(checked_sub(hi, lo), L.step) + 1;  // executed iters
           i64 b = count * worker / nworkers;
           i64 e = count * (worker + 1) / nworkers;
+          if (prof) {
+            if (prof->levels.size() < loops_.size())
+              prof->levels.resize(loops_.size());
+            ++prof->levels[in.arg].activations;
+          }
           if (b >= e) {
             // Empty chunk (more workers than iterations): arrive at
             // the exit barrier immediately and move past the loop.
+            i64 t1 = prof ? profile_now_ns() : 0;
+            if (prof) ++prof->empty_chunks;
             barrier.arrive_and_wait();
+            if (prof) {
+              i64 waited = profile_now_ns() - t1;
+              prof->barrier_wait_ns += waited;
+              if (instr_.wait_ns) instr_.wait_ns->record(waited);
+            }
             pc = static_cast<size_t>(in.jump);
             break;
           }
@@ -347,6 +450,19 @@ InterpStats VmProgram::run_worker(int worker, int nworkers,
           enter_loop(L, clo, chi);
           ++st.loop_iterations;
           in_chunk = true;
+          chunk_profiled_ = prof != nullptr;
+          chunk_traced_ = traced;
+          if (prof) chunk_t0_ = profile_now_ns();
+          if (traced) {
+            chunk_trace_t0_ = Tracer::global().now_ns();
+            if (instr_.active_workers) {
+              int a = instr_.active_workers->fetch_add(
+                          1, std::memory_order_relaxed) +
+                      1;
+              Tracer::global().counter("active workers", "exec.par",
+                                       "workers", a);
+            }
+          }
           ++pc;
           break;
         }
@@ -375,7 +491,48 @@ InterpStats VmProgram::run_worker(int worker, int nworkers,
             // Chunk complete. Exit barrier: code after the loop may
             // read what other workers' chunks wrote.
             in_chunk = false;
+            WorkerProfile* prof = chunk_profiled_ ? instr_.prof : nullptr;
+            i64 t1 = 0;
+            if (prof) {
+              t1 = profile_now_ns();
+              i64 dur = t1 - chunk_t0_;
+              prof->busy_ns += dur;
+              ++prof->chunks;
+              LevelTally& lt = prof->levels[in.arg];
+              ++lt.chunks;
+              lt.busy_ns += dur;
+              if (instr_.chunk_ns) instr_.chunk_ns->record(dur);
+            }
+            if (chunk_traced_) {
+              Tracer& tr = Tracer::global();
+              TraceEvent ev;
+              ev.name = "chunk";
+              ev.cat = "exec.worker";
+              ev.start_ns = chunk_trace_t0_;
+              ev.dur_ns = tr.now_ns() - chunk_trace_t0_;
+              ev.args.push_back(TraceArg{"loop", L.var, true});
+              ev.args.push_back(
+                  TraceArg{"worker", std::to_string(worker), false});
+              tr.record(std::move(ev));
+              if (instr_.active_workers) {
+                int a = instr_.active_workers->fetch_sub(
+                            1, std::memory_order_relaxed) -
+                        1;
+                tr.counter("active workers", "exec.par", "workers", a);
+              }
+              if (instr_.chunks_done) {
+                i64 c = instr_.chunks_done->fetch_add(
+                            1, std::memory_order_relaxed) +
+                        1;
+                tr.counter("chunks done", "exec.par", "chunks", c);
+              }
+            }
             barrier.arrive_and_wait();
+            if (prof) {
+              i64 waited = profile_now_ns() - t1;
+              prof->barrier_wait_ns += waited;
+              if (instr_.wait_ns) instr_.wait_ns->record(waited);
+            }
           }
           ++pc;  // loop done; falls out past the back-edge
           break;

@@ -36,15 +36,19 @@
 // iteration count to the iteration count of the outer nest.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/interp.hpp"
 
 namespace inlt {
 
-class ExecBarrier;  // exec/parallel.hpp
+class ExecBarrier;    // exec/parallel.hpp
+class HistogramCell;  // support/stats.hpp
+struct WorkerProfile;  // support/profile.hpp
 
 class VmProgram {
  public:
@@ -96,6 +100,27 @@ class VmProgram {
   /// count. The caller must abort the barrier if any worker throws.
   InterpStats run_worker(int worker, int nworkers, ExecBarrier& barrier,
                          const InterpOptions& opts);
+
+  /// Instrumentation sinks for run_worker, installed per clone by the
+  /// parallel driver (exec/parallel.cpp) when the execution profiler
+  /// or tracer is active. All pointers null by default; a null `prof`
+  /// plus a disabled tracer keeps the worker's per-chunk cost at one
+  /// plain pointer test and one relaxed atomic load — no clock reads.
+  struct WorkerInstr {
+    WorkerProfile* prof = nullptr;    ///< this worker's profile sink
+    HistogramCell* chunk_ns = nullptr;  ///< exec.par.chunk_ns
+    HistogramCell* wait_ns = nullptr;   ///< exec.par.barrier_wait_ns
+    /// Shared live counters for Chrome-trace counter tracks; workers
+    /// emit a 'C' sample on every transition when tracing is enabled.
+    std::atomic<int>* active_workers = nullptr;
+    std::atomic<i64>* chunks_done = nullptr;
+  };
+  void set_instrumentation(const WorkerInstr& wi) { instr_ = wi; }
+
+  /// The loops mark_partition() left marked, in nest (code) order:
+  /// (internal loop id, loop variable). The driver uses this to map
+  /// per-worker level tallies onto named report levels.
+  std::vector<std::pair<int, std::string>> marked_loops() const;
 
   // -- introspection (tests, benchmarks) --
   /// Accesses whose bounds checks were hoisted to loop entry.
@@ -236,6 +261,13 @@ class VmProgram {
 
   VmProgram() = default;
 
+  /// The dispatch loop of run(), compiled twice: kProfile adds clock
+  /// reads around every instruction and buckets them into the Stats
+  /// per-opcode / per-depth histograms; the !kProfile instantiation is
+  /// the unchanged hot path.
+  template <bool kProfile>
+  InterpStats run_impl(const InterpOptions& opts);
+
   i64 eval(const LinExpr& e) const;  // checked
   i64 eval_lower(const CBound& b) const;
   i64 eval_upper(const CBound& b) const;
@@ -278,6 +310,12 @@ class VmProgram {
   // log2(line_elems), precomputed when the probe is installed.
   CacheProbe* probe_ = nullptr;
   int probe_shift_ = 0;
+  // Worker instrumentation (run_worker only; per-clone, so unshared).
+  WorkerInstr instr_;
+  i64 chunk_t0_ = 0;        // profile clock at current chunk start
+  i64 chunk_trace_t0_ = 0;  // tracer clock at current chunk start
+  bool chunk_profiled_ = false;
+  bool chunk_traced_ = false;
   std::vector<i64> env_;    // loop variable values, by slot
   std::vector<i64> hi_;     // per active loop: current upper bound
   std::vector<i64> last_;   // per active loop: last executed value

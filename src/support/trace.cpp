@@ -58,6 +58,24 @@ void Tracer::record(TraceEvent e) {
   buf.events.push_back(std::move(e));
 }
 
+void Tracer::counter(const char* name, const char* cat, const char* key,
+                     i64 value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = now_ns();
+  e.ph = 'C';
+  e.args.push_back(TraceArg{key, std::to_string(value), false});
+  record(std::move(e));
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.name = name;
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& buf : buffers_) {
@@ -97,14 +115,29 @@ std::string Tracer::chrome_trace_json() const {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Thread-name metadata first, so Perfetto labels the worker tracks.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      if (buf->name.empty()) continue;
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << buf->tid << ",\"args\":{\"name\":\"" << json_escape(buf->name)
+         << "\"}}";
+    }
+  }
   for (const TraceEvent& e : evs) {
     if (!first) os << ",\n";
     first = false;
     os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
-       << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << std::fixed
-       << std::setprecision(3) << static_cast<double>(e.start_ns) / 1000.0
-       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0
-       << ",\"pid\":1,\"tid\":" << e.tid;
+       << json_escape(e.cat) << "\",\"ph\":\"" << e.ph
+       << "\",\"ts\":" << std::fixed << std::setprecision(3)
+       << static_cast<double>(e.start_ns) / 1000.0;
+    if (e.ph == 'X')
+      os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    os << ",\"pid\":1,\"tid\":" << e.tid;
     if (!e.args.empty()) {
       os << ",\"args\":{";
       bool afirst = true;
@@ -133,11 +166,13 @@ struct Agg {
 };
 
 // cat -> (name -> aggregate); the per-category rollup is the sum of
-// its names.
+// its names. Counter samples carry no duration and stay out of the
+// wall-time summaries.
 std::map<std::string, std::map<std::string, Agg>> aggregate(
     const std::vector<TraceEvent>& evs) {
   std::map<std::string, std::map<std::string, Agg>> by_cat;
   for (const TraceEvent& e : evs) {
+    if (e.ph != 'X') continue;
     Agg& a = by_cat[e.cat][e.name];
     ++a.count;
     a.total_ns += e.dur_ns;

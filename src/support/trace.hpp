@@ -19,7 +19,12 @@
 // Threads: each recording thread gets its own buffer and a small
 // sequential tid, assigned on first use. Export merges all buffers;
 // it may run concurrently with recording (each buffer is locked for
-// the copy), though the natural pattern is record-then-export.
+// the copy), though the natural pattern is record-then-export. The
+// registry holds shared ownership of every buffer, so events recorded
+// on long-lived threads the exporter never joins — the persistent
+// exec WorkerPool above all — are collected at export time exactly
+// like main-thread events (tests/support/test_trace.cpp and
+// tests/exec/test_profile_exec.cpp pin this down).
 #pragma once
 
 #include <atomic>
@@ -40,13 +45,16 @@ struct TraceArg {
   bool is_string = false;
 };
 
-/// One completed span: a Chrome trace "X" (complete) event.
+/// One buffered event. Spans are Chrome "X" (complete) events;
+/// counters are "C" (counter) events whose args carry the sampled
+/// values — Perfetto renders them as counter tracks.
 struct TraceEvent {
   const char* name = "";  ///< static string — span names are literals
   const char* cat = "";   ///< static category ("session", "fm", ...)
   i64 start_ns = 0;       ///< steady-clock ns, relative to enable()
-  i64 dur_ns = 0;
+  i64 dur_ns = 0;         ///< span duration; 0 (unused) for counters
   int tid = 0;            ///< small sequential id, per recording thread
+  char ph = 'X';          ///< Chrome phase: 'X' span, 'C' counter
   std::vector<TraceArg> args;
 };
 
@@ -91,6 +99,19 @@ class Tracer {
   /// directly.
   void record(TraceEvent e);
 
+  /// Record a counter sample (Chrome "C" event) on the calling
+  /// thread's track: `key` becomes the counter series, `value` the
+  /// sampled value at the current time. No-op when disabled. `name`
+  /// and `key` must be static strings.
+  void counter(const char* name, const char* cat, const char* key,
+               i64 value);
+
+  /// Name the calling thread's track in the exported trace (a Chrome
+  /// "thread_name" metadata event). Last call wins — the exec pool
+  /// renames its persistent threads per run. Safe to call whether or
+  /// not tracing is enabled; the name survives clear().
+  void set_thread_name(const std::string& name);
+
   /// Steady-clock ns relative to the enable() epoch.
   i64 now_ns() const;
 
@@ -103,6 +124,7 @@ class Tracer {
   struct ThreadBuffer {
     std::mutex mu;
     std::vector<TraceEvent> events;
+    std::string name;  ///< thread track name ("" = unnamed)
     int tid = 0;
   };
 

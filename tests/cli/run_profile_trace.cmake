@@ -1,0 +1,42 @@
+# Worker-trace check (invoked by ctest via `cmake -P`): profile the
+# §5.5 skewed wavefront with --trace-out and validate that the Chrome
+# trace carries what Perfetto needs to show the schedule — per-worker
+# chunk spans, the "active workers" / "chunks done" counter tracks,
+# and named worker thread tracks.
+#
+# Variables (passed with -D):
+#   INLTC    path to the inltc binary
+#   PYTHON   python3 interpreter
+#   CHECKER  path to check_trace.py
+#   LOOP     input program (the serial stencil; skewed here)
+#   OUT      where to write the trace JSON
+foreach(v INLTC PYTHON CHECKER LOOP OUT)
+  if(NOT DEFINED ${v})
+    message(FATAL_ERROR "run_profile_trace.cmake: missing -D${v}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${INLTC} profile ${LOOP} skew I J 1
+    --exec-threads 4 --n 48 --trace-out ${OUT}
+  OUTPUT_QUIET
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "inltc profile --trace-out: exit ${rc}\nstderr:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+    --min-events 10
+    --require-cat exec.worker
+    --require-counter "active workers"
+    --require-counter "chunks done"
+    --require-thread-name "exec worker"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected ${OUT}:\n${err}")
+endif()

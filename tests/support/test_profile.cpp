@@ -1,0 +1,157 @@
+// support/profile — ProfileReport derived metrics, renderers, and the
+// ExecProfiler collector (enable gate, report aggregation, merged()).
+#include "support/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace inlt {
+namespace {
+
+// Profiler state is process-global; every test starts clean.
+class Profile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ExecProfiler::global().disable();
+    ExecProfiler::global().clear();
+  }
+  void TearDown() override {
+    ExecProfiler::global().disable();
+    ExecProfiler::global().clear();
+  }
+};
+
+// A hand-built two-worker report with easy numbers: wall 100us; worker
+// 0 busy 40us + 10us wait, worker 1 busy 60us + 20us wait.
+ProfileReport sample() {
+  ProfileReport r;
+  r.workers = 2;
+  r.wall_ns = 100'000;
+  WorkerProfile w0;
+  w0.worker = 0;
+  w0.busy_ns = 40'000;
+  w0.barrier_wait_ns = 10'000;
+  w0.chunks = 4;
+  w0.instances = 40;
+  WorkerProfile w1;
+  w1.worker = 1;
+  w1.busy_ns = 60'000;
+  w1.barrier_wait_ns = 20'000;
+  w1.chunks = 4;
+  w1.empty_chunks = 1;
+  w1.instances = 60;
+  r.per_worker = {w0, w1};
+  LevelProfile l;
+  l.var = "J";
+  l.activations = 4;
+  l.chunks = 8;
+  l.busy_ns = 100'000;
+  l.max_worker_busy_ns = 60'000;
+  r.levels = {l};
+  return r;
+}
+
+TEST_F(Profile, DerivedMetrics) {
+  ProfileReport r = sample();
+  EXPECT_EQ(r.total_busy_ns(), 100'000);
+  EXPECT_EQ(r.total_wait_ns(), 30'000);
+  // Worker 0's residue: 100us wall - 40us busy - 10us wait = 50us.
+  EXPECT_EQ(r.serial_ns(), 50'000);
+  EXPECT_DOUBLE_EQ(r.utilization(0), 0.4);
+  EXPECT_DOUBLE_EQ(r.utilization(1), 0.6);
+  EXPECT_DOUBLE_EQ(r.avg_utilization(), 0.5);
+  // max busy 60us / mean busy 50us.
+  EXPECT_DOUBLE_EQ(r.load_imbalance(), 1.2);
+  // 30us waited / (100us wall * 2 workers).
+  EXPECT_DOUBLE_EQ(r.barrier_share(), 0.15);
+  // 100us parallel work vs 50us serial residue.
+  EXPECT_NEAR(r.measured_parallel_fraction(), 100.0 / 150.0, 1e-12);
+}
+
+TEST_F(Profile, EmptyReportIsAllZeros) {
+  ProfileReport r;
+  EXPECT_EQ(r.total_busy_ns(), 0);
+  EXPECT_EQ(r.serial_ns(), 0);
+  EXPECT_DOUBLE_EQ(r.avg_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(r.load_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.measured_parallel_fraction(), 0.0);
+  EXPECT_EQ(r.utilization(0), 0.0);   // out of range, not UB
+  EXPECT_EQ(r.utilization(-1), 0.0);
+}
+
+TEST_F(Profile, TextReportCarriesTheHeadlineNumbers) {
+  ProfileReport r = sample();
+  r.predicted_parallel_fraction = 0.9;
+  r.predicted_speedup = 1.8;
+  std::string t = r.to_text();
+  EXPECT_NE(t.find("workers: 2"), std::string::npos);
+  EXPECT_NE(t.find("measured parallel fraction: 0.667"), std::string::npos);
+  EXPECT_NE(t.find("model predicted: 0.900"), std::string::npos);
+  EXPECT_NE(t.find("w0:"), std::string::npos);
+  EXPECT_NE(t.find("w1:"), std::string::npos);
+  EXPECT_NE(t.find("J: 4 activations"), std::string::npos);
+}
+
+TEST_F(Profile, JsonReportHasTheFields) {
+  std::string j = sample().to_json();
+  EXPECT_NE(j.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"busy_ns\":100000"), std::string::npos);
+  EXPECT_NE(j.find("\"per_worker\":["), std::string::npos);
+  EXPECT_NE(j.find("\"var\":\"J\""), std::string::npos);
+  // No prediction attached: the predicted keys are absent entirely.
+  EXPECT_EQ(j.find("predicted_parallel_fraction"), std::string::npos);
+}
+
+TEST_F(Profile, EnabledGateAndCollector) {
+  EXPECT_FALSE(ExecProfiler::enabled());
+  ExecProfiler::global().enable();
+  EXPECT_TRUE(ExecProfiler::enabled());
+  EXPECT_EQ(ExecProfiler::global().report_count(), 0u);
+  ExecProfiler::global().add_report(sample());
+  ExecProfiler::global().add_report(sample());
+  EXPECT_EQ(ExecProfiler::global().report_count(), 2u);
+  ExecProfiler::global().clear();
+  EXPECT_EQ(ExecProfiler::global().report_count(), 0u);
+  // clear() drops reports but not the enable bit.
+  EXPECT_TRUE(ExecProfiler::enabled());
+}
+
+TEST_F(Profile, MergedSumsRunsWorkersAndLevels) {
+  ExecProfiler::global().add_report(sample());
+  ProfileReport second = sample();
+  second.predicted_parallel_fraction = 0.75;
+  second.predicted_speedup = 1.6;
+  ExecProfiler::global().add_report(second);
+
+  ProfileReport m = ExecProfiler::global().merged();
+  EXPECT_EQ(m.workers, 2);
+  EXPECT_EQ(m.runs, 2);
+  EXPECT_EQ(m.wall_ns, 200'000);
+  ASSERT_EQ(m.per_worker.size(), 2u);
+  EXPECT_EQ(m.per_worker[0].busy_ns, 80'000);
+  EXPECT_EQ(m.per_worker[1].busy_ns, 120'000);
+  EXPECT_EQ(m.per_worker[1].empty_chunks, 2);
+  ASSERT_EQ(m.levels.size(), 1u);
+  EXPECT_EQ(m.levels[0].var, "J");
+  EXPECT_EQ(m.levels[0].chunks, 16);
+  EXPECT_EQ(m.levels[0].busy_ns, 200'000);
+  // Per-run maxima sum, so per-level imbalance stays >= 1 over runs.
+  EXPECT_EQ(m.levels[0].max_worker_busy_ns, 120'000);
+  // Ratios are unchanged by merging identical runs.
+  EXPECT_DOUBLE_EQ(m.load_imbalance(), 1.2);
+  EXPECT_NEAR(m.measured_parallel_fraction(), 200.0 / 300.0, 1e-12);
+  // The later run's prediction wins.
+  EXPECT_DOUBLE_EQ(m.predicted_parallel_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(m.predicted_speedup, 1.6);
+}
+
+TEST_F(Profile, MergedOfNothingIsDefault) {
+  ProfileReport m = ExecProfiler::global().merged();
+  EXPECT_EQ(m.workers, 0);
+  EXPECT_TRUE(m.per_worker.empty());
+  EXPECT_TRUE(m.levels.empty());
+}
+
+}  // namespace
+}  // namespace inlt

@@ -157,5 +157,71 @@ TEST_F(SpanTrace, EmptyTraceIsStillValidJson) {
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
 }
 
+TEST_F(SpanTrace, CounterSamplesExportAsCounterEvents) {
+  // Disabled: counter() is a no-op.
+  Tracer::global().counter("queue depth", "test", "depth", 3);
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+
+  Tracer::global().enable();
+  Tracer::global().counter("queue depth", "test", "depth", 3);
+  Tracer::global().counter("queue depth", "test", "depth", 1);
+
+  std::vector<TraceEvent> evs = Tracer::global().events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].ph, 'C');
+  EXPECT_STREQ(evs[0].name, "queue depth");
+  EXPECT_EQ(evs[0].dur_ns, 0);
+  ASSERT_EQ(evs[0].args.size(), 1u);
+  EXPECT_STREQ(evs[0].args[0].key, "depth");
+  EXPECT_EQ(evs[0].args[0].value, "3");
+  EXPECT_FALSE(evs[0].args[0].is_string);
+  EXPECT_EQ(evs[1].args[0].value, "1");
+
+  std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":3"), std::string::npos) << json;
+  // Counter events carry no dur field.
+  EXPECT_EQ(json.find("\"dur\""), std::string::npos) << json;
+}
+
+TEST_F(SpanTrace, SummariesCountSpansOnly) {
+  Tracer::global().enable();
+  { ScopedSpan s("alpha", "catA"); }
+  Tracer::global().counter("gauge", "catA", "v", 7);
+  // The counter sample shows up in the raw stream but not in the
+  // per-category span aggregation.
+  EXPECT_EQ(Tracer::global().event_count(), 2u);
+  std::string json = Tracer::global().summary_json();
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_EQ(json.find("gauge"), std::string::npos) << json;
+}
+
+TEST_F(SpanTrace, ThreadNamesBecomeMetadataEvents) {
+  Tracer::global().enable();
+  Tracer::global().set_thread_name("main thread");
+  { ScopedSpan s("work", "test"); }
+  std::thread t([] {
+    Tracer::global().set_thread_name("helper \"h1\"");
+    ScopedSpan s("work", "test");
+  });
+  t.join();
+
+  std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("main thread"), std::string::npos) << json;
+  // Names are JSON-escaped like any other string.
+  EXPECT_NE(json.find("helper \\\"h1\\\""), std::string::npos) << json;
+  // Metadata is synthesized at export; the event stream holds spans.
+  EXPECT_EQ(Tracer::global().event_count(), 2u);
+
+  // Renaming wins, and the name survives clear().
+  Tracer::global().set_thread_name("renamed");
+  Tracer::global().clear();
+  json = Tracer::global().chrome_trace_json();
+  EXPECT_NE(json.find("renamed"), std::string::npos) << json;
+  EXPECT_EQ(json.find("main thread"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace inlt

@@ -2,10 +2,13 @@
 """Validate a Chrome trace-event JSON file produced by --trace-out.
 
 Checks that the file is valid JSON with the shape Perfetto / chrome://tracing
-expect: a top-level "traceEvents" list of complete ("ph":"X") events, each
-carrying name/cat/ts/dur/pid/tid with sane values.
+expect: a top-level "traceEvents" list of complete ("ph":"X") span events,
+counter ("ph":"C") samples, and thread-name ("ph":"M") metadata, each
+carrying the keys its phase requires with sane values.
 
 Usage: check_trace.py TRACE.json [--min-events N] [--require-cat CAT ...]
+                      [--require-counter NAME ...]
+                      [--require-thread-name SUBSTR ...]
 Exits 0 when valid, 1 otherwise.
 """
 
@@ -13,12 +16,24 @@ import argparse
 import json
 import sys
 
-REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+SPAN_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+COUNTER_KEYS = ("name", "cat", "ph", "ts", "pid", "tid", "args")
+META_KEYS = ("name", "ph", "pid", "tid", "args")
 
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_common(i, ev, keys):
+    for key in keys:
+        if key not in ev:
+            fail(f"event {i} missing key '{key}': {ev}")
+    if not isinstance(ev["tid"], int) or ev["tid"] <= 0:
+        fail(f"event {i} has invalid tid={ev['tid']!r}")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        fail(f"event {i} has non-object args")
 
 
 def main():
@@ -28,6 +43,11 @@ def main():
                     help="minimum number of trace events expected")
     ap.add_argument("--require-cat", action="append", default=[],
                     help="category that must appear at least once")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    help="counter track name that must appear at least once")
+    ap.add_argument("--require-thread-name", action="append", default=[],
+                    help="substring that some thread_name metadata event "
+                         "must contain")
     args = ap.parse_args()
 
     try:
@@ -45,30 +65,58 @@ def main():
         fail(f"expected at least {args.min_events} events, got {len(events)}")
 
     cats = set()
+    counters = set()
+    thread_names = []
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event {i} is not an object")
-        for key in REQUIRED_KEYS:
-            if key not in ev:
-                fail(f"event {i} missing key '{key}': {ev}")
-        if ev["ph"] != "X":
-            fail(f"event {i} has ph={ev['ph']!r}, expected complete event 'X'")
-        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
-            fail(f"event {i} has invalid ts={ev['ts']!r}")
-        if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
-            fail(f"event {i} has negative dur={ev['dur']!r}")
-        if not isinstance(ev["tid"], int) or ev["tid"] <= 0:
-            fail(f"event {i} has invalid tid={ev['tid']!r}")
-        if "args" in ev and not isinstance(ev["args"], dict):
-            fail(f"event {i} has non-object args")
-        cats.add(ev["cat"])
+        ph = ev.get("ph")
+        if ph == "X":
+            check_common(i, ev, SPAN_KEYS)
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                fail(f"event {i} has invalid ts={ev['ts']!r}")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                fail(f"event {i} has negative dur={ev['dur']!r}")
+            cats.add(ev["cat"])
+        elif ph == "C":
+            check_common(i, ev, COUNTER_KEYS)
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                fail(f"event {i} has invalid ts={ev['ts']!r}")
+            if not ev["args"]:
+                fail(f"event {i} is a counter sample with empty args")
+            for v in ev["args"].values():
+                if not isinstance(v, (int, float)):
+                    fail(f"event {i} counter value {v!r} is not numeric")
+            counters.add(ev["name"])
+            cats.add(ev["cat"])
+        elif ph == "M":
+            check_common(i, ev, META_KEYS)
+            if ev["name"] != "thread_name":
+                fail(f"event {i} is metadata with name={ev['name']!r}, "
+                     "expected 'thread_name'")
+            name = ev["args"].get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"event {i} thread_name metadata lacks args.name")
+            thread_names.append(name)
+        else:
+            fail(f"event {i} has ph={ph!r}, expected 'X', 'C' or 'M'")
 
     for cat in args.require_cat:
         if cat not in cats:
             fail(f"required category '{cat}' absent (saw: {sorted(cats)})")
+    for name in args.require_counter:
+        if name not in counters:
+            fail(f"required counter '{name}' absent "
+                 f"(saw: {sorted(counters)})")
+    for sub in args.require_thread_name:
+        if not any(sub in n for n in thread_names):
+            fail(f"no thread_name metadata contains '{sub}' "
+                 f"(saw: {thread_names})")
 
     print(f"check_trace: OK: {len(events)} events, "
-          f"categories: {', '.join(sorted(cats))}")
+          f"categories: {', '.join(sorted(cats))}"
+          + (f", counters: {', '.join(sorted(counters))}" if counters else "")
+          + (f", threads: {len(thread_names)}" if thread_names else ""))
 
 
 if __name__ == "__main__":

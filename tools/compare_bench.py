@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Regression gate: diff fresh BENCH_*.json reports against a committed
+baseline with per-metric tolerance.
+
+The baseline (bench/baseline.json) lists gated metrics, each naming the
+benchmark report it lives in, a path selecting the metric inside that
+report, and the tolerated range. Only metrics that are machine-
+independent (bit-identity flags, rank agreement) or generously floored
+ratios (speedups that hold on any multi-core runner) belong in the
+baseline — absolute seconds do not.
+
+Path syntax (dotted segments over the report JSON):
+    kernels[name=stencil_wavefront].speedup_8t_at_largest
+    families[0].kendall_tau
+    sizes[n=128].threads[threads=4].bit_identical
+A `[key=value]` selector picks the first element of a list whose `key`
+equals `value` (numbers compare numerically); `[i]` indexes.
+
+Gate forms (any combination; all present must hold):
+    {"expect": v}               fresh == v          (flags, booleans)
+    {"min": x} / {"max": x}     absolute bounds
+    {"value": v, "min_ratio": r}    fresh >= v * r  (relative floor)
+    {"value": v, "max_ratio": r}    fresh <= v * r  (relative ceiling)
+
+Usage: compare_bench.py --baseline bench/baseline.json BENCH_*.json
+       [--allow-missing]
+Exits 1 when any gated metric regresses beyond tolerance (or, without
+--allow-missing, when a gated benchmark report is absent).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SELECTOR = re.compile(r"^(?P<name>[^\[\]]*)(?P<sels>(\[[^\]]+\])*)$")
+
+
+def parse_scalar(text):
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            pass
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def resolve(doc, path):
+    """Walk `path` through `doc`; raises KeyError with context."""
+    node = doc
+    for seg in path.split("."):
+        m = SELECTOR.match(seg)
+        if not m:
+            raise KeyError(f"malformed path segment '{seg}'")
+        name = m.group("name")
+        if name:
+            if not isinstance(node, dict) or name not in node:
+                raise KeyError(f"key '{name}' not found (at '{seg}')")
+            node = node[name]
+        for sel in re.findall(r"\[([^\]]+)\]", m.group("sels")):
+            if not isinstance(node, list):
+                raise KeyError(f"selector [{sel}] applied to non-list "
+                               f"(at '{seg}')")
+            if "=" in sel:
+                key, _, val = sel.partition("=")
+                want = parse_scalar(val)
+                for el in node:
+                    if isinstance(el, dict) and el.get(key) == want:
+                        node = el
+                        break
+                else:
+                    raise KeyError(f"no element with {key}={val} "
+                                   f"(at '{seg}')")
+            else:
+                idx = int(sel)
+                if idx >= len(node):
+                    raise KeyError(f"index {idx} out of range (at '{seg}')")
+                node = node[idx]
+    return node
+
+
+def check_gate(gate, fresh):
+    """Returns a list of failure strings (empty = pass)."""
+    fails = []
+    if "expect" in gate and fresh != gate["expect"]:
+        fails.append(f"expected {gate['expect']!r}, got {fresh!r}")
+    if "min" in gate and not (isinstance(fresh, (int, float))
+                              and fresh >= gate["min"]):
+        fails.append(f"{fresh!r} < min {gate['min']}")
+    if "max" in gate and not (isinstance(fresh, (int, float))
+                              and fresh <= gate["max"]):
+        fails.append(f"{fresh!r} > max {gate['max']}")
+    if "value" in gate:
+        base = gate["value"]
+        if "min_ratio" in gate:
+            floor = base * gate["min_ratio"]
+            if not (isinstance(fresh, (int, float)) and fresh >= floor):
+                fails.append(f"{fresh!r} < baseline {base} * "
+                             f"min_ratio {gate['min_ratio']} = {floor:.4g}")
+        if "max_ratio" in gate:
+            ceil = base * gate["max_ratio"]
+            if not (isinstance(fresh, (int, float)) and fresh <= ceil):
+                fails.append(f"{fresh!r} > baseline {base} * "
+                             f"max_ratio {gate['max_ratio']} = {ceil:.4g}")
+    return fails
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline with gated metrics")
+    ap.add_argument("inputs", nargs="+", help="fresh BENCH_*.json reports")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="skip gates whose benchmark report was not given "
+                         "(default: missing report fails the gate)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: cannot read baseline: {e}", file=sys.stderr)
+        return 1
+
+    reports = {}
+    for path in args.inputs:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"compare_bench: skipping {path}: {e}", file=sys.stderr)
+            continue
+        name = doc.get("benchmark")
+        if name:
+            reports[name] = doc
+
+    gates = baseline.get("gates", [])
+    failures = []
+    checked = 0
+    skipped = 0
+    for gate in gates:
+        bench = gate.get("bench", "?")
+        path = gate.get("path", "?")
+        label = f"{bench}:{path}"
+        if bench not in reports:
+            if args.allow_missing:
+                print(f"compare_bench: SKIP {label} (no {bench} report)")
+                skipped += 1
+                continue
+            failures.append(f"{label}: benchmark report '{bench}' missing")
+            continue
+        try:
+            fresh = resolve(reports[bench], path)
+        except KeyError as e:
+            failures.append(f"{label}: {e}")
+            continue
+        fails = check_gate(gate, fresh)
+        if fails:
+            failures.extend(f"{label}: {f}" for f in fails)
+        else:
+            checked += 1
+            print(f"compare_bench: OK {label} = {fresh!r}")
+
+    for f in failures:
+        print(f"compare_bench: FAIL {f}", file=sys.stderr)
+    print(f"compare_bench: {checked} gates passed, {len(failures)} failed"
+          + (f", {skipped} skipped" if skipped else ""))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

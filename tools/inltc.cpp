@@ -20,6 +20,12 @@
 //   inltc explain   <file> <op> [...ops]       per-dependence legality
 //                                              provenance: the Definition 6
 //                                              walk in Δ-vector terms
+//   inltc profile   <file> [...ops]            run the (transformed) nest
+//                                              partitioned over --exec-threads
+//                                              workers and report per-worker
+//                                              utilization, barrier waits and
+//                                              measured vs. model-predicted
+//                                              parallel fraction
 //
 // Transformation ops (composed left to right):
 //   interchange A B | skew T S k | reverse V | scale V k
@@ -32,7 +38,18 @@
 //        --exact      use the exact ILP legality pipeline
 //        --pad-zero   zero padding instead of diagonal (ablation)
 //        --stats      dump pipeline counters and timers to stderr
+//        --stats-json print the Stats snapshot (counters, timers,
+//                     histograms — including per-worker sums) as JSON
+//                     on stdout, matching the --diag-json convention
 //        --diag-json  print structured diagnostics as JSON on stdout
+//        --profile    enable the runtime execution profiler
+//                     (support/profile.hpp) for every partitioned run
+//                     of the command; the merged report prints to
+//                     stderr at exit
+//        --vm-profile per-opcode VM profiling for serial --verify runs
+//                     (vm.op.* / vm.stmt.depth* histograms; see --stats)
+//        profile: --n N (problem size, default 64) | --repeat R
+//                 --profile-json (report as JSON on stdout)
 //        --threads N  search/evaluate worker threads (positive; default
 //                     is the hardware count)
 //        --exec-threads N  execution-engine worker threads (positive;
@@ -63,14 +80,19 @@
 //
 // <file> may be '-' for stdin.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "exec/trace.hpp"
 #include "exec/verify.hpp"
 #include "ir/printer.hpp"
+#include "model/cost.hpp"
 #include "pipeline/search.hpp"
 #include "pipeline/session.hpp"
+#include "support/json.hpp"
+#include "support/profile.hpp"
+#include "support/stats.hpp"
 #include "support/trace.hpp"
 #include "transform/completion.hpp"
 #include "transform/legality.hpp"
@@ -93,13 +115,18 @@ commands:
   search    <file>                 sweep permutations x skews, list legal ones
   rank      <file>                 rank the space by the static cost model
   explain   <file> <ops...>        per-dependence legality provenance
+  profile   <file> [ops...]        run partitioned over --exec-threads workers,
+                                   report per-worker utilization, barrier waits
+                                   and measured vs. predicted parallel fraction
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
 flags: --verify N | --engine {vm,ast} | --raw | --exact | --pad-zero
-       --stats | --diag-json | --threads N | --exec-threads N | --search
-       --trace-out F | --trace-summary | --progress
+       --stats | --stats-json | --diag-json | --threads N | --exec-threads N
+       --search | --trace-out F | --trace-summary | --progress
+       --profile | --vm-profile
 search/rank flags: --skew-bound B | --skew-depth D | --full | --cost | --top K
   (--full --verify N also semantically verifies every legal candidate)
+profile flags: --n N | --repeat R | --profile-json
 )";
   std::exit(2);
 }
@@ -148,6 +175,12 @@ struct Options {
   std::string trace_out;  // Chrome trace-event JSON destination
   bool trace_summary = false;  // per-category span table on stderr
   bool progress = false;  // search: periodic progress on stderr
+  bool stats_json = false;   // Stats snapshot as JSON on stdout
+  bool profile = false;      // runtime profiler on partitioned runs
+  bool vm_profile = false;   // per-opcode VM profiling (serial runs)
+  bool profile_json = false;  // profile command: JSON report on stdout
+  i64 n = 64;                // profile command: problem size (binds N)
+  i64 repeat = 1;            // profile command: profiled run count
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -233,6 +266,20 @@ Options parse_flags(int argc, char** argv, int first) {
       o.trace_summary = true;
     } else if (a == "--progress") {
       o.progress = true;
+    } else if (a == "--stats-json") {
+      o.stats_json = true;
+    } else if (a == "--profile") {
+      o.profile = true;
+    } else if (a == "--vm-profile") {
+      o.vm_profile = true;
+    } else if (a == "--profile-json") {
+      o.profile_json = true;
+    } else if (a == "--n") {
+      o.n = flag_int(a, value(i, a));
+      if (o.n <= 0) cli_error("flag --n expects a positive size", 2);
+    } else if (a == "--repeat") {
+      o.repeat = flag_int(a, value(i, a));
+      if (o.repeat <= 0) cli_error("flag --repeat expects a positive count", 2);
     } else if (a.rfind("--", 0) == 0) {
       // Unknown flags used to fall through as positional arguments and
       // be silently ignored; fail loudly instead.
@@ -297,6 +344,9 @@ IntMat parse_ops(const IvLayout& layout, const std::vector<std::string>& ops,
 // funnels through here so a partial run still leaves a usable trace.
 void dump_stats(const Options& opts) {
   if (opts.stats) std::cerr << Stats::global().to_text();
+  if (opts.stats_json) std::cout << Stats::global().to_json() << "\n";
+  if (opts.profile && ExecProfiler::global().report_count() > 0)
+    std::cerr << ExecProfiler::global().merged().to_text();
   if (!opts.trace_out.empty()) {
     std::ofstream out(opts.trace_out);
     if (!out) {
@@ -346,6 +396,7 @@ ExecPlan exec_plan(TransformSession& session, const IntMat& m,
                    const Options& opts) {
   ExecPlan plan;
   plan.threads = opts.exec_threads;
+  plan.vm_profile = opts.vm_profile;
   if (opts.exec_threads <= 1) return plan;
   const IvLayout& layout = session.layout();
   const DependenceSet& deps = session.dependences();
@@ -401,11 +452,12 @@ int main(int argc, char** argv) {
   // Reject unknown commands before any file is read or analyzed.
   if (cmd != "analyze" && cmd != "transform" && cmd != "explain" &&
       cmd != "complete" && cmd != "search" && cmd != "rank" &&
-      cmd != "parallel")
+      cmd != "parallel" && cmd != "profile")
     cli_error("unknown command '" + cmd + "'", 2);
   std::string path = opts.args[0];
   if (!opts.trace_out.empty() || opts.trace_summary)
     Tracer::global().enable();
+  if (opts.profile || cmd == "profile") ExecProfiler::global().enable();
 
   try {
     SessionOptions sopts;
@@ -515,6 +567,106 @@ int main(int argc, char** argv) {
           std::cout << "verify: " << h.result.verify->to_string() << "\n";
         if (opts.full && !rank && h.result.program)
           std::cout << print_program(*h.result.program);
+      }
+      dump_stats(opts);
+      return 0;
+    }
+
+    if (cmd == "profile") {
+      // Measure the nest's partitioned execution: serial reference run
+      // first, then --repeat profiled runs at --exec-threads with the
+      // schedule's doall levels chunked — the measured counterpart of
+      // `rank`'s static cost estimate.
+      if (opts.exec_threads <= 1)
+        cli_error("profile requires --exec-threads >= 2", 2);
+      IntMat m = opts.args.size() > 1 ? parse_ops(layout, opts.args, 1)
+                                      : IntMat::identity(layout.size());
+      Program prog = session.program();
+      if (opts.args.size() > 1) {
+        CandidateResult r = session.evaluate(m);
+        if (!r.legal) {
+          if (opts.diag_json) {
+            DiagnosticEngine render;
+            for (const Diagnostic& d : r.diagnostics) render.report(d);
+            std::cout << render.to_json() << "\n";
+          } else {
+            std::cerr << "inltc: " << r.error << "\n";
+          }
+          dump_stats(opts);
+          return 1;
+        }
+        prog = *r.program;
+      }
+      AstRecovery rec = recover_ast(layout, m);
+      ParallelSchedule sched =
+          analyze_target_parallelism(layout, deps, m, rec);
+      if (sched.partition.empty())
+        cli_error(
+            "the schedule has no doall level to partition "
+            "(see `inltc parallel`)",
+            1);
+      std::map<std::string, i64> params{{"N", opts.n}};
+
+      Memory smem;
+      declare_arrays(prog, params, smem);
+      fill_spd(smem, 1);
+      i64 t0 = profile_now_ns();
+      interpret(prog, params, smem, {});
+      i64 serial_wall = profile_now_ns() - t0;
+
+      ExecProfiler::global().clear();
+      InterpOptions par;
+      par.num_threads = opts.exec_threads;
+      par.partition = sched.partition;
+      i64 par_wall = 0;
+      for (i64 r = 0; r < opts.repeat; ++r) {
+        Memory pmem;
+        declare_arrays(prog, params, pmem);
+        fill_spd(pmem, 1);
+        i64 p0 = profile_now_ns();
+        interpret(prog, params, pmem, par);
+        par_wall += profile_now_ns() - p0;
+      }
+
+      ProfileReport rep = ExecProfiler::global().merged();
+      ModelOptions mo;
+      mo.exec_threads = opts.exec_threads;
+      CostEstimate est = estimate_cost(layout, deps, m, rec, mo);
+      rep.predicted_parallel_fraction = est.parallel_fraction;
+      double f = est.parallel_fraction;
+      rep.predicted_speedup =
+          1.0 / ((1.0 - f) + f / static_cast<double>(opts.exec_threads));
+      double measured_speedup =
+          par_wall > 0 ? static_cast<double>(serial_wall) *
+                             static_cast<double>(opts.repeat) /
+                             static_cast<double>(par_wall)
+                       : 0.0;
+
+      if (opts.profile_json) {
+        std::ostringstream os;
+        os << "{\"n\":" << opts.n << ",\"threads\":" << opts.exec_threads
+           << ",\"repeat\":" << opts.repeat << ",\"wavefront\":"
+           << (sched.wavefront ? "true" : "false") << ",\"partition\":[";
+        for (size_t i = 0; i < sched.partition.size(); ++i)
+          os << (i ? "," : "") << json_quote(sched.partition[i]);
+        os << "],\"serial_wall_ns\":" << serial_wall
+           << ",\"parallel_wall_ns\":" << par_wall
+           << ",\"measured_speedup\":" << measured_speedup
+           << ",\"report\":" << rep.to_json() << "}";
+        std::cout << os.str() << "\n";
+      } else {
+        std::cout << "schedule:";
+        for (const std::string& v : sched.partition) std::cout << " " << v;
+        std::cout << (sched.wavefront ? " (wavefront)" : " (doall)")
+                  << "  N=" << opts.n << "\n"
+                  << "serial wall: " << std::fixed << std::setprecision(3)
+                  << static_cast<double>(serial_wall) / 1e6
+                  << " ms  parallel wall: "
+                  << static_cast<double>(par_wall) / 1e6 << " ms ("
+                  << opts.repeat << " run" << (opts.repeat == 1 ? "" : "s")
+                  << ")  measured speedup: " << std::setprecision(2)
+                  << measured_speedup << "x\n"
+                  << rep.to_text();
       }
       dump_stats(opts);
       return 0;
