@@ -4,6 +4,11 @@
 #include <cmath>
 #include <cstdint>
 
+#include <iostream>
+#include <mutex>
+#include <set>
+
+#include "exec/native.hpp"
 #include "exec/parallel.hpp"
 #include "exec/ufhash.hpp"
 #include "exec/vm.hpp"
@@ -112,6 +117,16 @@ struct Runner {
   }
 };
 
+// A native-engine fallback is worth a warning, but not once per
+// verification run of a 10^4-candidate search: each distinct reason is
+// reported to stderr exactly once per process.
+void warn_native_fallback_once(const Diagnostic& d) {
+  static std::mutex mu;
+  static std::set<std::string> seen;
+  std::lock_guard<std::mutex> lock(mu);
+  if (seen.insert(d.message).second) std::cerr << d.render() << "\n";
+}
+
 }  // namespace
 
 InterpStats interpret(const Program& p, const std::map<std::string, i64>& params,
@@ -123,7 +138,21 @@ InterpStats interpret(const Program& p, const std::map<std::string, i64>& params
   INLT_CHECK_MSG(!(opts.observer && opts.cache_probe),
                  "cache_probe requires the VM engine; observer forces the "
                  "AST walker");
-  if ((opts.engine == ExecEngine::kVm || opts.cache_probe) && !opts.observer) {
+  // The native engine covers the plain serial path; the probe rides
+  // the VM's resolved offsets and a parallel partition rides the VM's
+  // worker pool, so both divert to the VM below. Preparation failures
+  // (no compiler, compile error) warn once and fall back; runtime
+  // failures of a prepared kernel (bounds, budget) throw like any
+  // other engine's.
+  if (opts.engine == ExecEngine::kNative && !opts.observer &&
+      !opts.cache_probe && !(opts.num_threads > 1 && !opts.partition.empty())) {
+    InterpStats st;
+    Diagnostic why;
+    if (native_try_run(p, params, mem, opts, &st, &why)) return st;
+    warn_native_fallback_once(why);
+  }
+  if ((opts.engine != ExecEngine::kAstWalker || opts.cache_probe) &&
+      !opts.observer) {
     if (opts.num_threads > 1 && !opts.partition.empty() && !opts.cache_probe)
       return run_partitioned(p, params, mem, opts.partition, opts.num_threads,
                              opts);

@@ -28,12 +28,21 @@ struct AccessEvent {
   bool is_write = false;
 };
 
-/// Which execution engine interpret() uses. Both produce bit-identical
-/// results (memory state, InterpStats, the uninterpreted-function
-/// values); the VM is roughly an order of magnitude faster.
+/// Which execution engine interpret() uses. All three produce
+/// bit-identical results (memory state, InterpStats, the
+/// uninterpreted-function values); the VM is roughly an order of
+/// magnitude faster than the walker, and the native engine compiles
+/// the program to machine code for another large factor — at the cost
+/// of one out-of-process C compile on first sight of a program (cached
+/// on disk afterwards; see exec/native.hpp).
 enum class ExecEngine {
   kVm,         ///< compile to bytecode and run it (exec/vm.hpp)
   kAstWalker,  ///< recursive tree walk (reference semantics)
+  kNative,     ///< lower to C, compile, dlopen and run (exec/native.hpp);
+               ///< falls back to the VM (with a Stage::kExec warning on
+               ///< stderr) when no C compiler or dlopen is available.
+               ///< Serial only: an observer forces the walker, and the
+               ///< cache probe or a parallel partition rides the VM.
 };
 
 /// Bucketed distinct-cache-line estimator — the VM's ground-truth

@@ -23,6 +23,7 @@ const char* stage_name(Stage s) {
     case Stage::kCompletion: return "completion";
     case Stage::kCodegen: return "codegen";
     case Stage::kCli: return "cli";
+    case Stage::kExec: return "exec";
   }
   return "unknown";
 }

@@ -35,6 +35,7 @@ enum class Stage {
   kCompletion,  ///< §6 completion procedure
   kCodegen,     ///< §5 code generation
   kCli,         ///< command-line driver (bad invocation, missing file)
+  kExec,        ///< execution engines (native-engine fallback to the VM)
 };
 
 const char* severity_name(Severity s);

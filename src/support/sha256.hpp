@@ -1,0 +1,42 @@
+// SHA-256, self-contained.
+//
+// The native execution engine (exec/native.hpp) content-addresses
+// compiled kernels: the cache key is the digest of the emitted C
+// source plus the compiler identity and flags, so any change to the
+// program, the emitter, or the toolchain produces a different key and
+// stale shared objects can never be picked up. No external crypto
+// dependency: the whole implementation lives in sha256.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace inlt {
+
+/// Streaming SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-byte digest. The object must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 32> digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex digest of one buffer.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace inlt

@@ -1,0 +1,63 @@
+// FIPS 180-4 known-answer vectors for the cache-key hash
+// (support/sha256.hpp) plus streaming/chunking invariance — the native
+// engine's compile cache depends on this digest being exactly SHA-256,
+// not merely *a* hash, so cache directories stay valid across builds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/sha256.hpp"
+
+namespace inlt {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                       "nopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string a(1000000, 'a');
+  EXPECT_EQ(sha256_hex(a),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, LengthExactlyOneBlock) {
+  // 64 bytes: padding must spill into a second block.
+  std::string m(64, 'x');
+  EXPECT_EQ(sha256_hex(m), sha256_hex(m));
+  EXPECT_NE(sha256_hex(m), sha256_hex(std::string(63, 'x')));
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::string msg =
+      "the quick brown fox jumps over the lazy dog, repeatedly, until the "
+      "message spans several blocks and odd chunk boundaries matter";
+  for (size_t chunk : {1u, 3u, 7u, 64u, 100u}) {
+    Sha256 h;
+    for (size_t i = 0; i < msg.size(); i += chunk)
+      h.update(msg.substr(i, chunk));
+    auto d = h.digest();
+    std::string hex;
+    static const char* k = "0123456789abcdef";
+    for (auto b : d) {
+      hex.push_back(k[b >> 4]);
+      hex.push_back(k[b & 0xf]);
+    }
+    EXPECT_EQ(hex, sha256_hex(msg)) << "chunk=" << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace inlt

@@ -22,6 +22,12 @@ import sys
 def headline(report):
     """Best-effort one-line summary of one benchmark's report."""
     name = report.get("benchmark", "?")
+    if report.get("unavailable"):
+        return f"{name}: unavailable on this runner"
+    if "geomean_native_vs_vm_at_largest" in report:
+        return (f"{name}: geomean {report['geomean_native_vs_vm_at_largest']:.2f}x "
+                f"vs vm, bit_identical={report.get('bit_identical')}, "
+                f"recompiles_second_run={report.get('recompiles_second_run')}")
     kernels = report.get("kernels")
     if isinstance(kernels, list):
         parts = []

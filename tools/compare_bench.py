@@ -22,6 +22,12 @@ Gate forms (any combination; all present must hold):
     {"value": v, "min_ratio": r}    fresh >= v * r  (relative floor)
     {"value": v, "max_ratio": r}    fresh <= v * r  (relative ceiling)
 
+A gate may also carry {"skip_if": "path"}: the path is resolved in the
+same report, and when it resolves to a truthy value the gate is skipped
+rather than checked. This lets reports describe their own applicability
+— e.g. BENCH_native.json sets "unavailable": true on runners without a
+C compiler, and the native gates declare skip_if "unavailable".
+
 Usage: compare_bench.py --baseline bench/baseline.json BENCH_*.json
        [--allow-missing]
 Exits 1 when any gated metric regresses beyond tolerance (or, without
@@ -153,6 +159,15 @@ def main():
                 continue
             failures.append(f"{label}: benchmark report '{bench}' missing")
             continue
+        skip_if = gate.get("skip_if")
+        if skip_if:
+            try:
+                if resolve(reports[bench], skip_if):
+                    print(f"compare_bench: SKIP {label} ({skip_if} is set)")
+                    skipped += 1
+                    continue
+            except KeyError:
+                pass  # marker absent: gate applies
         try:
             fresh = resolve(reports[bench], path)
         except KeyError as e:

@@ -33,7 +33,9 @@
 //
 // Flags: --verify N   run source and result on N-sized inputs and compare
 //        --engine E   execution engine for --verify runs: vm (default,
-//                     compiled bytecode) or ast (reference tree walker)
+//                     compiled bytecode), ast (reference tree walker) or
+//                     native (C-compiled kernel; falls back to the VM
+//                     with a warning when no compiler is available)
 //        --raw        skip the simplification pass
 //        --exact      use the exact ILP legality pipeline
 //        --pad-zero   zero padding instead of diagonal (ablation)
@@ -120,13 +122,15 @@ commands:
                                    and measured vs. predicted parallel fraction
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
-flags: --verify N | --engine {vm,ast} | --raw | --exact | --pad-zero
+flags: --verify N | --engine {vm,ast,native} | --raw | --exact | --pad-zero
        --stats | --stats-json | --diag-json | --threads N | --exec-threads N
        --search | --trace-out F | --trace-summary | --progress
        --profile | --vm-profile
 search/rank flags: --skew-bound B | --skew-depth D | --full | --cost | --top K
   (--full --verify N also semantically verifies every legal candidate)
-profile flags: --n N | --repeat R | --profile-json
+profile flags: --n N | --repeat R | --profile-json | --engine E
+  (--engine {vm,ast,native} profiles that serial engine instead of the
+   partitioned run; native reports compile and run time separately)
 )";
   std::exit(2);
 }
@@ -178,6 +182,7 @@ struct Options {
   bool stats_json = false;   // Stats snapshot as JSON on stdout
   bool profile = false;      // runtime profiler on partitioned runs
   bool vm_profile = false;   // per-opcode VM profiling (serial runs)
+  bool engine_set = false;   // --engine given (profile: serial engine mode)
   bool profile_json = false;  // profile command: JSON report on stdout
   i64 n = 64;                // profile command: problem size (binds N)
   i64 repeat = 1;            // profile command: profiled run count
@@ -187,7 +192,8 @@ struct Options {
 ExecEngine parse_engine(const std::string& name) {
   if (name == "vm") return ExecEngine::kVm;
   if (name == "ast") return ExecEngine::kAstWalker;
-  cli_error("unknown engine '" + name + "' (expected vm or ast)", 2);
+  if (name == "native") return ExecEngine::kNative;
+  cli_error("unknown engine '" + name + "' (expected vm, ast or native)", 2);
 }
 
 // The one validated thread knob: every thread count in the driver —
@@ -231,8 +237,10 @@ Options parse_flags(int argc, char** argv, int first) {
       o.verify_n = flag_int(a, value(i, a));
     } else if (a == "--engine") {
       o.engine = parse_engine(value(i, a));
+      o.engine_set = true;
     } else if (a.rfind("--engine=", 0) == 0) {
       o.engine = parse_engine(a.substr(9));
+      o.engine_set = true;
     } else if (a == "--raw") {
       o.raw = true;
     } else if (a == "--exact") {
@@ -573,12 +581,13 @@ int main(int argc, char** argv) {
     }
 
     if (cmd == "profile") {
-      // Measure the nest's partitioned execution: serial reference run
-      // first, then --repeat profiled runs at --exec-threads with the
-      // schedule's doall levels chunked — the measured counterpart of
-      // `rank`'s static cost estimate.
-      if (opts.exec_threads <= 1)
-        cli_error("profile requires --exec-threads >= 2", 2);
+      // Two profiling modes. Default: measure the nest's partitioned
+      // execution — serial reference run first, then --repeat profiled
+      // runs at --exec-threads with the schedule's doall levels chunked
+      // — the measured counterpart of `rank`'s static cost estimate.
+      // With --engine E: time --repeat serial runs on that engine; the
+      // native engine additionally splits its wall time into the
+      // out-of-process C compile vs. kernel execution.
       IntMat m = opts.args.size() > 1 ? parse_ops(layout, opts.args, 1)
                                       : IntMat::identity(layout.size());
       Program prog = session.program();
@@ -597,6 +606,75 @@ int main(int argc, char** argv) {
         }
         prog = *r.program;
       }
+
+      if (opts.engine_set) {
+        if (opts.exec_threads > 1)
+          cli_error("profile --engine is serial; drop --exec-threads", 2);
+        std::map<std::string, i64> params{{"N", opts.n}};
+        InterpOptions eng;
+        eng.engine = opts.engine;
+        StatsSnapshot s0 = Stats::global().snapshot();
+        i64 wall = 0;
+        InterpStats last{};
+        for (i64 r = 0; r < opts.repeat; ++r) {
+          Memory emem;
+          declare_arrays(prog, params, emem);
+          fill_spd(emem, 1);
+          i64 t0 = profile_now_ns();
+          last = interpret(prog, params, emem, eng);
+          wall += profile_now_ns() - t0;
+        }
+        StatsSnapshot d = Stats::global().snapshot() - s0;
+        auto timer_ns = [&](const char* key) {
+          auto it = d.timers.find(key);
+          return it == d.timers.end() ? i64{0} : it->second.ns;
+        };
+        const i64 compile_ns = timer_ns("exec.native.compile_ns");
+        const i64 run_ns = timer_ns("exec.native.run_ns");
+        const char* ename = opts.engine == ExecEngine::kVm ? "vm"
+                            : opts.engine == ExecEngine::kAstWalker
+                                ? "ast"
+                                : "native";
+        if (opts.profile_json) {
+          std::ostringstream os;
+          os << "{\"engine\":" << json_quote(ename) << ",\"n\":" << opts.n
+             << ",\"repeat\":" << opts.repeat << ",\"wall_ns\":" << wall
+             << ",\"instances\":" << last.instances
+             << ",\"native\":{\"compile_ns\":" << compile_ns
+             << ",\"run_ns\":" << run_ns
+             << ",\"compiles\":" << d.counter("exec.native.compiles")
+             << ",\"disk_hits\":" << d.counter("exec.native.disk_hits")
+             << ",\"lru_hits\":" << d.counter("exec.native.lru_hits")
+             << ",\"fallbacks\":" << d.counter("exec.native.fallbacks")
+             << "}}";
+          std::cout << os.str() << "\n";
+        } else {
+          std::cout << "engine: " << ename << "  N=" << opts.n << "  "
+                    << opts.repeat << " run" << (opts.repeat == 1 ? "" : "s")
+                    << "\nwall: " << std::fixed << std::setprecision(3)
+                    << static_cast<double>(wall) / 1e6 << " ms  ("
+                    << last.instances << " instances/run)\n";
+          if (opts.engine == ExecEngine::kNative) {
+            const i64 compiles = d.counter("exec.native.compiles");
+            std::cout << "native compile: "
+                      << static_cast<double>(compile_ns) / 1e6 << " ms ("
+                      << compiles << " compile" << (compiles == 1 ? "" : "s")
+                      << ", " << d.counter("exec.native.disk_hits")
+                      << " disk + " << d.counter("exec.native.lru_hits")
+                      << " lru hits)  kernel run: "
+                      << static_cast<double>(run_ns) / 1e6 << " ms\n";
+            if (d.counter("exec.native.fallbacks") > 0)
+              std::cout << "native fallbacks: "
+                        << d.counter("exec.native.fallbacks")
+                        << " (the VM executed instead)\n";
+          }
+        }
+        dump_stats(opts);
+        return 0;
+      }
+
+      if (opts.exec_threads <= 1)
+        cli_error("profile requires --exec-threads >= 2 (or --engine E)", 2);
       AstRecovery rec = recover_ast(layout, m);
       ParallelSchedule sched =
           analyze_target_parallelism(layout, deps, m, rec);
