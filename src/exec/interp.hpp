@@ -17,6 +17,7 @@
 
 #include "exec/array.hpp"
 #include "ir/ast.hpp"
+#include "support/cache_geometry.hpp"
 
 namespace inlt {
 
@@ -55,9 +56,15 @@ enum class ExecEngine {
 /// approximates the number of distinct lines touched; undersized, it
 /// approximates the miss count of a direct-mapped cache of that many
 /// lines. Results are machine-independent (no real addresses).
+///
+/// Geometry defaults come from support/cache_geometry.hpp so the
+/// probe, the static cost model and the tile working-set model all
+/// measure the same machine.
 struct CacheProbe {
-  i64 line_elems = 8;    ///< elements per line; must be a power of two
-  int bucket_bits = 20;  ///< log2 of tag-table entries
+  /// Elements per line; must be a power of two.
+  i64 line_elems = kCacheLineElems;
+  /// log2 of tag-table entries.
+  int bucket_bits = kCacheProbeBucketBits;
 
   // -- results --
   i64 accesses = 0;  ///< array accesses observed

@@ -36,13 +36,15 @@
 #include "dependence/analyzer.hpp"
 #include "instance/layout.hpp"
 #include "linalg/rational.hpp"
+#include "support/cache_geometry.hpp"
 #include "transform/block_structure.hpp"
 
 namespace inlt {
 
 struct ModelOptions {
-  /// Array elements (doubles) per cache line: 64B line / 8B element.
-  i64 line_elems = 8;
+  /// Array elements (doubles) per cache line — shared with the VM's
+  /// CacheProbe and the tile model via support/cache_geometry.hpp.
+  i64 line_elems = kCacheLineElems;
   /// Assumed iterations per loop — the stand-in for symbolic N.
   i64 nominal_trip = 64;
   PadMode pad = PadMode::kDiagonal;

@@ -13,6 +13,7 @@ const char* stage_kind_name(StageKind k) {
     case StageKind::kComplete: return "complete";
     case StageKind::kCost:     return "cost";
     case StageKind::kCodegen:  return "codegen";
+    case StageKind::kTile:     return "tile";
     case StageKind::kVerify:   return "verify";
   }
   return "?";
@@ -105,7 +106,7 @@ void CandidateAccumulator::settle(Candidate&& c) {
       if (!c.result.verify->equivalent) ++out_.stats.verify_failed;
     }
     SearchHit h{c.index, std::move(c.matrix), std::move(c.result),
-                std::move(c.cost)};
+                std::move(c.cost), std::move(c.tile)};
     if (sopts_.sink) sopts_.sink(h);
     const i64 k = sopts_.top_k;
     if (k <= 0) {

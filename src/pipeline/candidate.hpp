@@ -43,6 +43,7 @@ enum class StageKind {
   kComplete,  ///< recover the transformed AST skeleton (rank/cost)
   kCost,      ///< static cache-locality estimate (model/cost.hpp)
   kCodegen,   ///< full code generation + simplify (evaluate_impl)
+  kTile,      ///< tile the generated program (tile/plan.hpp)
   kVerify,    ///< semantic verification against the source program
 };
 
@@ -59,6 +60,9 @@ struct Candidate {
   /// Inter-stage scratch: the recovered AST (kComplete stage) the
   /// cost stage consumes. Dropped when the candidate settles.
   std::optional<AstRecovery> recovery;
+  /// Tile plan for the generated program (kTile stage; unset if the
+  /// stage is absent or the candidate generated no code).
+  std::optional<TilePlan> tile;
   /// Set by a stage that definitively rejects the candidate; the
   /// remaining stages are skipped. Distinct from `result.legal`
   /// because exact-mode codegen decides legality *inside* its stage —

@@ -244,6 +244,27 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
       c.result = evaluate_impl(c.matrix);
       c.rejected = !c.result.legal;
     });
+    if (sopts.tile) {
+      const TileOptions topts = sopts.tile_opts;
+      ModelOptions tmopts = sopts.model;
+      pipe.add(StageKind::kTile, /*deferred=*/true,
+               [topts, tmopts](Candidate& c) {
+                 if (!(c.result.legal && c.result.program)) return;
+                 try {
+                   TiledProgram tp =
+                       apply_tile(*c.result.program, topts, tmopts);
+                   if (tp.program) c.result.program = std::move(*tp.program);
+                   c.tile.emplace(std::move(tp.plan));
+                 } catch (const Error& e) {
+                   // Per-candidate structural mismatch (e.g. a band
+                   // index valid for one candidate's shape but not
+                   // another's): keep the untiled program, record why.
+                   TilePlan failed;
+                   failed.note = e.what();
+                   c.tile.emplace(std::move(failed));
+                 }
+               });
+    }
     if (!sopts.verify_params.empty()) {
       const int exec_threads = sopts.exec_threads;
       pipe.add(StageKind::kVerify, /*deferred=*/true,
@@ -262,6 +283,11 @@ SearchResult TransformSession::search(CandidateGenerator& gen,
                                                             c.matrix, rec)
                                      .partition;
                      c.recovery.emplace(std::move(rec));
+                     // A tiled hit's program loops over tiles: remap
+                     // partitioned band variables to their tile loops.
+                     if (c.tile && c.tile->applied)
+                       partition = tiled_partition(partition, c.tile->spec,
+                                                   c.tile->tile_vars);
                    } catch (const Error&) {
                      partition.clear();
                    }

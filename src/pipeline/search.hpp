@@ -25,6 +25,7 @@
 #include "linalg/matrix.hpp"
 #include "model/cost.hpp"
 #include "pipeline/session.hpp"
+#include "tile/plan.hpp"
 
 namespace inlt {
 
@@ -162,6 +163,10 @@ struct SearchHit {
   /// SearchOptions::cost (or top_k) is active and the estimate
   /// succeeded.
   std::optional<CostEstimate> cost;
+  /// Tile plan for the generated program; set when SearchOptions::tile
+  /// is active and the candidate generated code. When the plan
+  /// applied, `result.program` IS the tiled program.
+  std::optional<TilePlan> tile;
 };
 
 struct SearchResult {
@@ -224,6 +229,18 @@ struct SearchOptions {
   /// Stats still count all legal candidates and the sink still sees
   /// every one of them.
   i64 top_k = 0;
+  /// Full mode only: tile every legal candidate's generated program.
+  /// After codegen the generated nest is re-analyzed fresh, a band and
+  /// sizes are planned (tile/plan.hpp) and, when the plan applies, the
+  /// hit's program is replaced by the tiled rewrite — so verification
+  /// (verify_params) checks the *tiled* program against the source and
+  /// its doall partition is remapped to the tile loops
+  /// (tiled_partition). Candidates whose generated program cannot be
+  /// analyzed or tiled keep their untiled program, with the reason in
+  /// the hit's `tile->note`.
+  bool tile = false;
+  /// Band/size/auto knobs when `tile` is active.
+  TileOptions tile_opts;
 };
 
 /// Enumerate the generator's full candidate space in search order —

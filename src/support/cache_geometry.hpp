@@ -1,0 +1,40 @@
+// Shared cache geometry for every layer that reasons about lines.
+//
+// Three places model the memory hierarchy: the VM's CacheProbe
+// (exec/interp.hpp) counts distinct lines at execution time, the
+// static cost model (model/cost.hpp) estimates them per candidate, and
+// the tile working-set model (model/tile_cost.hpp) sizes tile
+// footprints against a capacity. They must agree on the geometry —
+// a probe counting 64-byte lines against a model assuming 128-byte
+// lines ranks candidates against a different machine than it measures.
+// This header is the single definition all three default from.
+#pragma once
+
+#include "support/checked_int.hpp"
+
+namespace inlt {
+
+/// The modeled cache. Values are deliberately machine-independent
+/// defaults (a generic 64-byte-line, 256 KiB cache), not probed from
+/// the host: ranking verdicts and CI gates must not depend on the
+/// runner.
+struct CacheGeometry {
+  /// Array elements (doubles) per cache line: 64 B line / 8 B element.
+  /// Must be a power of two.
+  i64 line_elems = 8;
+  /// Modeled capacity in lines: 4096 × 64 B = 256 KiB. The tile-size
+  /// search keeps per-tile footprints within this.
+  i64 capacity_lines = 4096;
+  /// log2 of the CacheProbe's direct-mapped tag table. At the default
+  /// 2^20 entries the probe approximates distinct lines touched;
+  /// shrunk (e.g. 9 bits = a 512-line cache), it approximates the
+  /// miss count of a direct-mapped cache of that geometry.
+  int probe_bucket_bits = 20;
+};
+
+/// Compile-time defaults, usable in default member initializers.
+inline constexpr i64 kCacheLineElems = 8;
+inline constexpr i64 kCacheCapacityLines = 4096;
+inline constexpr int kCacheProbeBucketBits = 20;
+
+}  // namespace inlt

@@ -1,0 +1,410 @@
+#include "tile/rewrite.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/checked_int.hpp"
+
+namespace inlt {
+
+namespace {
+
+// Hard cap on cover-bound terms after hull expansion; a band whose
+// rectangular hull needs more is rejected rather than exploded.
+constexpr size_t kMaxHullTerms = 16;
+
+struct LoopInfo {
+  Node* node = nullptr;
+  std::vector<Node*> ancestors;  // enclosing loops, outermost first
+};
+
+// Collect every loop node with its ancestor chain.
+void collect_loops(Node* n, std::vector<Node*>& stack,
+                   std::map<std::string, LoopInfo>& out) {
+  if (!n->is_loop()) return;
+  out[n->var()] = LoopInfo{n, stack};
+  stack.push_back(n);
+  for (NodePtr& c : n->mutable_children()) collect_loops(c.get(), stack, out);
+  stack.pop_back();
+}
+
+void collect_idents(const Node* n, std::set<std::string>& out) {
+  if (n->is_loop()) {
+    out.insert(n->var());
+    for (const NodePtr& c : n->children()) collect_idents(c.get(), out);
+  }
+}
+
+// The rectangular hull of one eliminated variable's range: cover-mode
+// term lists (lower = MIN of terms, upper = MAX of terms) free of
+// every eliminated variable. Sound, not tight: point-loop clamps and
+// pad guards restore exactness, extra empty tiles execute nothing.
+struct Hull {
+  std::vector<AffineExpr> lo;
+  std::vector<AffineExpr> hi;
+};
+
+class HullBuilder {
+ public:
+  HullBuilder(const std::map<std::string, LoopInfo>& loops,
+              std::set<std::string> eliminated)
+      : loops_(loops), eliminated_(std::move(eliminated)) {}
+
+  const Hull& hull(const std::string& var) {
+    auto it = memo_.find(var);
+    if (it != memo_.end()) return it->second;
+    INLT_CHECK_MSG(!in_progress_.count(var),
+                   "cyclic loop bound reference");  // validate() precludes it
+    in_progress_.insert(var);
+    const Node* loop = loops_.at(var).node;
+    Hull h;
+    h.lo = expand_bound(loop->lower(), /*lower=*/true, var);
+    h.hi = expand_bound(loop->upper(), /*lower=*/false, var);
+    in_progress_.erase(var);
+    return memo_.emplace(var, std::move(h)).first->second;
+  }
+
+  // Eliminate every eliminated-variable reference from `e`, in the
+  // given direction: the result terms' MIN (lower) / MAX (upper)
+  // bounds e's range over the eliminated variables' ranges.
+  std::vector<AffineExpr> expand_expr(const AffineExpr& e, bool lower,
+                                      const std::string& context_var) {
+    // Find an eliminated variable referenced by e.
+    const std::string* var = nullptr;
+    i64 coef = 0;
+    for (const auto& [name, c] : e.terms()) {
+      if (eliminated_.count(name)) {
+        var = &name;
+        coef = c;
+        break;
+      }
+    }
+    if (!var) return {e};
+    const Hull& h = hull(*var);
+    // coef > 0: the extreme of e in the `lower` direction uses the
+    // same-direction extreme of var; coef < 0 uses the opposite.
+    const std::vector<AffineExpr>& repl =
+        (coef > 0) == lower ? h.lo : h.hi;
+    if (repl.empty())
+      throw TileError("cannot hull bounds of loop " + context_var +
+                      ": no usable bound for " + *var);
+    std::vector<AffineExpr> out;
+    for (const AffineExpr& r : repl) {
+      AffineExpr substituted = e.substitute(*var, r);
+      std::vector<AffineExpr> rec = expand_expr(substituted, lower, context_var);
+      out.insert(out.end(), rec.begin(), rec.end());
+      if (out.size() > kMaxHullTerms)
+        throw TileError("bounds of loop " + context_var +
+                        " are too complex to tile (hull exceeds " +
+                        std::to_string(kMaxHullTerms) + " terms)");
+    }
+    return out;
+  }
+
+ private:
+  std::vector<AffineExpr> expand_bound(const Bound& b, bool lower,
+                                       const std::string& var) {
+    if (b.mode != Bound::Mode::kTight)
+      throw TileError("loop " + var +
+                      " has cover-mode bounds; tiling such a band is "
+                      "not supported");
+    std::vector<AffineExpr> out;
+    for (const BoundTerm& t : b.terms) {
+      bool refs_eliminated = false;
+      for (const auto& [name, c] : t.expr.terms()) {
+        (void)c;
+        if (eliminated_.count(name)) refs_eliminated = true;
+      }
+      if (t.den != 1 && refs_eliminated)
+        throw TileError("loop " + var +
+                        " has a divided bound over band-interior "
+                        "variables; tiling is not supported");
+      if (t.den != 1)
+        throw TileError("loop " + var +
+                        " has a divided bound; tiling is not supported");
+      std::vector<AffineExpr> terms = expand_expr(t.expr, lower, var);
+      out.insert(out.end(), terms.begin(), terms.end());
+      if (out.size() > kMaxHullTerms)
+        throw TileError("bounds of loop " + var +
+                        " are too complex to tile (hull exceeds " +
+                        std::to_string(kMaxHullTerms) + " terms)");
+    }
+    return out;
+  }
+
+  const std::map<std::string, LoopInfo>& loops_;
+  std::set<std::string> eliminated_;
+  std::map<std::string, Hull> memo_;
+  std::set<std::string> in_progress_;
+};
+
+// All loop vars inside a subtree (including the root loop itself).
+void subtree_loop_vars(const Node* n, std::set<std::string>& out) {
+  if (!n->is_loop()) return;
+  out.insert(n->var());
+  for (const NodePtr& c : n->children()) subtree_loop_vars(c.get(), out);
+}
+
+// Does the subtree rooted at `n` contain the node `target`?
+bool contains(const Node* n, const Node* target) {
+  if (n == target) return true;
+  if (!n->is_loop()) return false;
+  for (const NodePtr& c : n->children())
+    if (contains(c.get(), target)) return true;
+  return false;
+}
+
+// Does the subtree contain at least one statement?
+bool has_statement(const Node* n) {
+  if (n->is_stmt()) return true;
+  for (const NodePtr& c : n->children())
+    if (has_statement(c.get())) return true;
+  return false;
+}
+
+void dedup_terms(std::vector<AffineExpr>& terms) {
+  std::vector<AffineExpr> out;
+  for (AffineExpr& t : terms)
+    if (std::find(out.begin(), out.end(), t) == out.end())
+      out.push_back(std::move(t));
+  terms = std::move(out);
+}
+
+Bound cover_bound(std::vector<AffineExpr> terms) {
+  dedup_terms(terms);
+  std::vector<BoundTerm> bt;
+  for (AffineExpr& t : terms) bt.emplace_back(std::move(t));
+  return Bound(std::move(bt), Bound::Mode::kCover);
+}
+
+}  // namespace
+
+TileResult tile_band(const Program& p, const TileSpec& spec) {
+  const size_t k = spec.vars.size();
+  if (k == 0) throw TileError("empty tile band");
+  if (spec.sizes.size() != k)
+    throw TileError("tile spec needs one size per band loop (" +
+                    std::to_string(k) + " loops, " +
+                    std::to_string(spec.sizes.size()) + " sizes)");
+  for (size_t i = 0; i < k; ++i)
+    if (spec.sizes[i] < 1)
+      throw TileError("tile size for loop " + spec.vars[i] +
+                      " must be positive (got " +
+                      std::to_string(spec.sizes[i]) + ")");
+
+  TileResult result;
+  result.program = p;  // deep copy (Program copy ctor clones)
+  if (std::all_of(spec.sizes.begin(), spec.sizes.end(),
+                  [](i64 b) { return b == 1; })) {
+    // Every tile holds one iteration: the identity rewrite.
+    result.identity = true;
+    return result;
+  }
+
+  // -- locate the band chain in the copy ----------------------------
+  std::map<std::string, LoopInfo> loops;
+  {
+    std::vector<Node*> stack;
+    for (NodePtr& r : result.program.mutable_roots())
+      collect_loops(r.get(), stack, loops);
+  }
+  std::vector<Node*> band;
+  for (size_t i = 0; i < k; ++i) {
+    auto it = loops.find(spec.vars[i]);
+    if (it == loops.end())
+      throw TileError("no loop named " + spec.vars[i]);
+    Node* n = it->second.node;
+    if (i > 0 && !contains(band.back(), n))
+      throw TileError("band loops are not a nested chain: " + spec.vars[i] +
+                      " is not inside " + spec.vars[i - 1]);
+    if (n->step() < 1)
+      throw TileError("loop " + spec.vars[i] +
+                      " has a non-positive step; tiling is not supported");
+    band.push_back(n);
+  }
+  Node* band_root = band.front();
+
+  // -- rectangular hulls over the band-subtree variables -------------
+  std::set<std::string> eliminated;
+  subtree_loop_vars(band_root, eliminated);
+  HullBuilder hulls(loops, eliminated);
+
+  // Pad sources per band loop: ancestors A of L_i inside the band
+  // subtree that have a child subtree without L_i but with statements.
+  // Those subtrees' statements are diagonally padded by A's value at
+  // L_i's position, so (a) the tile range must cover A's range and
+  // (b) the subtree gets the guard window of L_i's tile.
+  struct GuardSite {
+    Node* node;         // subtree root the guards attach to
+    std::string pad;    // A.var — the pad-source variable
+  };
+  std::vector<std::vector<GuardSite>> guard_sites(k);
+  std::vector<std::set<std::string>> pad_vars(k);
+  for (size_t i = 0; i < k; ++i) {
+    Node* li = band[i];
+    // Ancestors of L_i from band_root (inclusive) downward.
+    std::vector<Node*> chain = loops.at(li->var()).ancestors;
+    auto it = std::find(chain.begin(), chain.end(), band_root);
+    std::vector<Node*> inner(it, chain.end());
+    for (Node* a : inner) {
+      for (NodePtr& c : a->mutable_children()) {
+        if (contains(c.get(), li)) continue;
+        if (!has_statement(c.get())) continue;
+        guard_sites[i].push_back(GuardSite{c.get(), a->var()});
+        pad_vars[i].insert(a->var());
+      }
+    }
+  }
+
+  // -- tile loop bounds ----------------------------------------------
+  std::set<std::string> taken;
+  for (const NodePtr& r : result.program.roots()) collect_idents(r.get(), taken);
+  for (const std::string& prm : result.program.params()) taken.insert(prm);
+
+  std::vector<std::string> tile_vars(k);
+  std::vector<Bound> tlo(k), thi(k);
+  std::vector<i64> tstep(k);
+  for (size_t i = 0; i < k; ++i) {
+    Node* li = band[i];
+    const i64 s = li->step();
+    const i64 b = spec.sizes[i];
+    if (s > 1) {
+      // Alignment: tile origins must hit the loop's own lattice
+      // {lo + m·s}, so the lower bound must be a single term,
+      // invariant in the band subtree, and no pad extension may move
+      // the cover start off-phase.
+      if (!li->lower().single())
+        throw TileError("loop " + li->var() +
+                        " has a non-unit step and a multi-term lower "
+                        "bound; tiling is not supported");
+      const BoundTerm& lt = li->lower().terms.front();
+      for (const auto& [name, c] : lt.expr.terms()) {
+        (void)c;
+        if (eliminated.count(name))
+          throw TileError("loop " + li->var() +
+                          " has a non-unit step and a band-dependent "
+                          "lower bound; tiling is not supported");
+      }
+      if (!pad_vars[i].empty())
+        throw TileError("loop " + li->var() +
+                        " has a non-unit step and imperfect statements "
+                        "between band levels; tiling is not supported");
+    }
+    std::vector<AffineExpr> lo_terms;
+    std::vector<AffineExpr> hi_terms;
+    {
+      const Hull& h = hulls.hull(li->var());
+      lo_terms.insert(lo_terms.end(), h.lo.begin(), h.lo.end());
+      hi_terms.insert(hi_terms.end(), h.hi.begin(), h.hi.end());
+    }
+    for (const std::string& pv : pad_vars[i]) {
+      const Hull& h = hulls.hull(pv);
+      lo_terms.insert(lo_terms.end(), h.lo.begin(), h.lo.end());
+      hi_terms.insert(hi_terms.end(), h.hi.begin(), h.hi.end());
+    }
+    if (lo_terms.size() > kMaxHullTerms || hi_terms.size() > kMaxHullTerms)
+      throw TileError("bounds of loop " + li->var() +
+                      " are too complex to tile (hull exceeds " +
+                      std::to_string(kMaxHullTerms) + " terms)");
+    tlo[i] = cover_bound(std::move(lo_terms));
+    thi[i] = cover_bound(std::move(hi_terms));
+    tstep[i] = checked_mul(s, b);
+
+    std::string name = li->var() + "T";
+    while (taken.count(name)) name += "_";
+    taken.insert(name);
+    tile_vars[i] = name;
+  }
+
+  // -- rewrite point loops and attach guards -------------------------
+  for (size_t i = 0; i < k; ++i) {
+    Node* li = band[i];
+    const i64 s = li->step();
+    const i64 b = spec.sizes[i];
+    const AffineExpr tv = AffineExpr::variable(tile_vars[i]);
+
+    // Lower: max(T_i, original terms). Upper: min(T_i + s·B − s,
+    // original terms). Original dens are preserved — they are kept as
+    // terms, never substituted into.
+    std::vector<BoundTerm> lo = li->lower().terms;
+    lo.insert(lo.begin(), BoundTerm(tv));
+    std::vector<BoundTerm> hi = li->upper().terms;
+    AffineExpr last = tv;
+    last.add_constant(checked_sub(checked_mul(s, b), s));
+    hi.insert(hi.begin(), BoundTerm(last));
+    li->set_bounds(Bound(std::move(lo), Bound::Mode::kTight),
+                   Bound(std::move(hi), Bound::Mode::kTight), s);
+
+    // Guard window [T_i, T_i + s·B − 1] on every non-enclosed subtree:
+    // contiguous over the integers, so each pad value lands in exactly
+    // one tile.
+    for (const GuardSite& gs : guard_sites[i]) {
+      AffineExpr pad = AffineExpr::variable(gs.pad);
+      Guard g1;
+      g1.kind = Guard::Kind::kGeZero;
+      g1.expr = pad - tv;  // pad >= T_i
+      Guard g2;
+      g2.kind = Guard::Kind::kGeZero;
+      g2.expr = tv - pad;  // T_i + s·B − 1 >= pad
+      g2.expr.add_constant(checked_sub(checked_mul(s, b), 1));
+      gs.node->add_guard(std::move(g1));
+      gs.node->add_guard(std::move(g2));
+    }
+  }
+
+  // -- wrap the band subtree in the tile loops -----------------------
+  // Find the owning slot of band_root.
+  std::vector<NodePtr>* slot_vec = nullptr;
+  size_t slot_idx = 0;
+  {
+    std::function<bool(std::vector<NodePtr>&)> find =
+        [&](std::vector<NodePtr>& vec) {
+          for (size_t ci = 0; ci < vec.size(); ++ci) {
+            if (vec[ci].get() == band_root) {
+              slot_vec = &vec;
+              slot_idx = ci;
+              return true;
+            }
+            if (vec[ci]->is_loop() && find(vec[ci]->mutable_children()))
+              return true;
+          }
+          return false;
+        };
+    find(result.program.mutable_roots());
+  }
+  INLT_CHECK(slot_vec != nullptr);
+
+  NodePtr detached = std::move((*slot_vec)[slot_idx]);
+  for (size_t i = k; i-- > 0;) {
+    NodePtr t = Node::loop(tile_vars[i], tlo[i], thi[i], tstep[i]);
+    t->add_child(std::move(detached));
+    detached = std::move(t);
+  }
+  (*slot_vec)[slot_idx] = std::move(detached);
+
+  result.program.validate();
+  result.tile_vars = std::move(tile_vars);
+  return result;
+}
+
+std::vector<std::string> tiled_partition(
+    const std::vector<std::string>& partition, const TileSpec& spec,
+    const std::vector<std::string>& tile_vars) {
+  if (tile_vars.empty()) return partition;  // identity rewrite
+  INLT_CHECK(tile_vars.size() == spec.vars.size());
+  std::vector<std::string> out;
+  for (const std::string& v : partition) {
+    auto it = std::find(spec.vars.begin(), spec.vars.end(), v);
+    if (it == spec.vars.end()) {
+      out.push_back(v);
+    } else {
+      out.push_back(tile_vars[static_cast<size_t>(it - spec.vars.begin())]);
+    }
+  }
+  return out;
+}
+
+}  // namespace inlt

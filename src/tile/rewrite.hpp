@@ -1,0 +1,81 @@
+// Strip-mine-and-interchange tiling as a pure Program → Program
+// rewrite.
+//
+// Given a fully-permutable band L1 ⊃ ... ⊃ Lk (tile/band.hpp decides
+// permutability; this file only materializes the rewrite), tiling
+// replaces the band[0] subtree with
+//
+//   do L1T = cover_lo_1, cover_hi_1, s1·B1
+//     ...
+//     do LkT = cover_lo_k, cover_hi_k, sk·Bk
+//       <band[0] subtree with>
+//         do Li = max(LiT, orig_lo_i), min(LiT + si·Bi − si, orig_hi_i), si
+//         and guards LiT <= pad <= LiT + si·Bi − 1 on every subtree
+//         not enclosed by Li
+//
+// where cover_lo/cover_hi are cover-mode rectangular hulls of the
+// band loops' ranges (band-interior variables eliminated by
+// sign-directed substitution of their own hulls) *extended by the
+// hulls of every pad-source variable* — the ancestor loop whose value
+// diagonally pads a non-enclosed statement's coordinate. The extension
+// guarantees each padded statement's guard window exists even when its
+// own band loop is zero-trip, and the guard window [LiT, LiT+si·Bi−1]
+// tiles the integers contiguously, so every pad value lands in exactly
+// one tile.
+//
+// The result is an ordinary Program: the AST walker, the bytecode VM,
+// the native engine and the parallel driver execute it unchanged, and
+// — because tiling is a dependence-preserving reorder of statement
+// instances whose bodies are untouched — bit-identically to the
+// untiled original.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "support/check.hpp"
+
+namespace inlt {
+
+/// Raised when a band cannot be tiled for structural reasons (bounds
+/// too complex to hull, cover-mode band bounds, unsupported step
+/// shapes). Distinct from legality: callers check permutability with
+/// tile/band.hpp first.
+class TileError : public Error {
+ public:
+  explicit TileError(const std::string& what) : Error(what) {}
+};
+
+/// What to tile: the band's loop variables (outermost first, a nested
+/// chain) and the per-loop tile sizes in iterations of that loop.
+struct TileSpec {
+  std::vector<std::string> vars;
+  std::vector<i64> sizes;  ///< same length as vars; every size >= 1
+};
+
+struct TileResult {
+  Program program;
+  /// Names of the generated tile loops, parallel to spec.vars. Empty
+  /// when the rewrite was the identity (every size == 1).
+  std::vector<std::string> tile_vars;
+  bool identity = false;
+};
+
+/// Tile the band. Pure function: `p` is not modified. Throws TileError
+/// on non-positive sizes, vars that are not a nested loop chain, or
+/// bound shapes the hull computation does not support. Does NOT check
+/// permutability — pair with detect_bands / band_reject_reason.
+TileResult tile_band(const Program& p, const TileSpec& spec);
+
+/// Map a doall partition through the rewrite: a partitioned variable
+/// that is a band variable is upgraded to its tile loop (the tile
+/// loop of a doall level is itself doall — a dependence between
+/// different tiles along it would need a nonzero component there), so
+/// the parallel driver chunks whole tiles: coarser chunks, fewer
+/// barriers. Non-band variables pass through unchanged.
+std::vector<std::string> tiled_partition(
+    const std::vector<std::string>& partition, const TileSpec& spec,
+    const std::vector<std::string>& tile_vars);
+
+}  // namespace inlt

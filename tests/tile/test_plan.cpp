@@ -1,0 +1,194 @@
+// plan_tile / apply_tile: band selection, deterministic auto search,
+// profitability gating, option validation, degradation on unanalyzable
+// programs.
+#include "tile/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/vm.hpp"
+#include "model/tile_cost.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace inlt {
+namespace {
+
+constexpr const char* kJkiCholeskySrc = R"(param N
+do K = 1, N
+  do J = 1, K - 1
+    do L = K, N
+      S3: A(L, K) = A(L, K) - A(L, J) * A(K, J)
+    end
+  end
+  S1: A(K, K) = sqrt(A(K, K))
+  do I = K + 1, N
+    S2: A(I, K) = A(I, K) / A(K, K)
+  end
+end
+)";
+
+constexpr const char* kStencilSrc = R"(param N
+do I = 1, N
+  do J = 1, N
+    S1: U(I, J) = U(I - 1, J) + U(I, J - 1)
+  end
+end
+)";
+
+struct Analyzed {
+  Program p;
+  IvLayout layout;
+  DependenceSet deps;
+  explicit Analyzed(const std::string& src)
+      : p(parse_program(src)), layout(p), deps(analyze_dependences(layout)) {}
+};
+
+TEST(PlanTile, DefaultPicksTheDeepestBand) {
+  Analyzed a(kJkiCholeskySrc);
+  TilePlan plan = plan_tile(a.layout, a.deps, {});
+  // Deepest bands are depth 2: the first one in report order wins.
+  EXPECT_EQ(plan.spec.vars.size(), 2u);
+  EXPECT_EQ(plan.spec.sizes, (std::vector<i64>{32, 32}));
+  EXPECT_FALSE(plan.bands.bands.empty());
+}
+
+TEST(PlanTile, ExplicitLoopsOverrideBandChoice) {
+  Analyzed a(kJkiCholeskySrc);
+  TileOptions opts;
+  opts.loops = {"J", "L"};
+  opts.sizes = {8, 16};
+  TilePlan plan = plan_tile(a.layout, a.deps, opts);
+  EXPECT_EQ(plan.spec.vars, (std::vector<std::string>{"J", "L"}));
+  EXPECT_EQ(plan.spec.sizes, (std::vector<i64>{8, 16}));
+}
+
+TEST(PlanTile, AutoSelectIsDeterministicArgmin) {
+  Analyzed a(kJkiCholeskySrc);
+  TileOptions opts;
+  opts.auto_select = true;
+  TilePlan plan = plan_tile(a.layout, a.deps, opts);
+  ASSERT_EQ(plan.spec.sizes.size(), 2u);
+  // The chosen point must actually be the argmin over the grid.
+  const LoopBand* band = nullptr;
+  for (const LoopBand& b : plan.bands.bands)
+    if (b.vars == plan.spec.vars) band = &b;
+  ASSERT_NE(band, nullptr);
+  for (i64 s1 : {8, 16, 32, 64}) {
+    for (i64 s2 : {8, 16, 32, 64}) {
+      TileTraffic t =
+          estimate_tile_traffic(a.p, band->loops, {s1, s2});
+      EXPECT_GE(t.traffic_lines, plan.tiled_traffic)
+          << s1 << "x" << s2 << " beats the chosen "
+          << plan.spec.sizes[0] << "x" << plan.spec.sizes[1];
+    }
+  }
+  // Determinism: same inputs, same plan.
+  TilePlan again = plan_tile(a.layout, a.deps, opts);
+  EXPECT_EQ(again.spec.sizes, plan.spec.sizes);
+  EXPECT_EQ(again.tiled_traffic, plan.tiled_traffic);
+}
+
+TEST(PlanTile, ProfitableBandApplies) {
+  Analyzed a(kJkiCholeskySrc);
+  TileOptions opts;
+  opts.auto_select = true;
+  TilePlan plan = plan_tile(a.layout, a.deps, opts);
+  EXPECT_TRUE(plan.applied);
+  EXPECT_LT(plan.tiled_traffic, plan.untiled_traffic);
+  std::string text = plan.to_text();
+  EXPECT_NE(text.find("tile plan: band"), std::string::npos);
+  EXPECT_NE(text.find("traffic ratio"), std::string::npos);
+}
+
+TEST(PlanTile, Errors) {
+  Analyzed a(kJkiCholeskySrc);
+  {
+    TileOptions opts;
+    opts.band = 99;
+    EXPECT_THROW(plan_tile(a.layout, a.deps, opts), TileError);
+  }
+  {
+    TileOptions opts;
+    opts.loops = {"K", "I"};  // nested but not permutable
+    EXPECT_THROW(plan_tile(a.layout, a.deps, opts), TileError);
+  }
+  {
+    TileOptions opts;
+    opts.loops = {"J", "K"};  // not a chain
+    EXPECT_THROW(plan_tile(a.layout, a.deps, opts), TransformError);
+  }
+  {
+    TileOptions opts;
+    opts.sizes = {8};  // deepest band has 2 loops
+    EXPECT_THROW(plan_tile(a.layout, a.deps, opts), TileError);
+  }
+  {
+    TileOptions opts;
+    opts.sizes = {8, 0};
+    EXPECT_THROW(plan_tile(a.layout, a.deps, opts), TileError);
+  }
+}
+
+TEST(ApplyTile, MaterializesTheProgramWhenApplied) {
+  Program p = parse_program(kJkiCholeskySrc);
+  TileOptions opts;
+  opts.auto_select = true;
+  TiledProgram tp = apply_tile(p, opts);
+  ASSERT_TRUE(tp.plan.applied);
+  ASSERT_TRUE(tp.program.has_value());
+  ASSERT_FALSE(tp.plan.tile_vars.empty());
+  std::string text = print_program(*tp.program);
+  EXPECT_NE(text.find("do " + tp.plan.tile_vars[0]), std::string::npos);
+}
+
+TEST(ApplyTile, StencilModelSaysNoButForceApplies) {
+  // Every stencil reference is indexed by both band dims, so no tile
+  // pass re-fetches anything: the model predicts no reduction and the
+  // rewrite is skipped.
+  Program p = parse_program(kStencilSrc);
+  TiledProgram tp = apply_tile(p, {});
+  EXPECT_FALSE(tp.plan.applied);
+  EXPECT_FALSE(tp.program.has_value());
+  EXPECT_NE(tp.plan.note.find("no traffic reduction"), std::string::npos);
+
+  TileOptions force;
+  force.force = true;
+  TiledProgram forced = apply_tile(p, force);
+  EXPECT_TRUE(forced.plan.applied);
+  ASSERT_TRUE(forced.program.has_value());
+  EXPECT_NE(forced.plan.note.find("forced"), std::string::npos);
+}
+
+TEST(ApplyTile, IdentitySizesNoteTheIdentityRewrite) {
+  Program p = parse_program(kStencilSrc);
+  TileOptions opts;
+  opts.sizes = {1, 1};
+  opts.force = true;
+  TiledProgram tp = apply_tile(p, opts);
+  ASSERT_TRUE(tp.plan.applied);
+  ASSERT_TRUE(tp.program.has_value());
+  EXPECT_TRUE(tp.plan.tile_vars.empty());
+  EXPECT_NE(tp.plan.note.find("identity"), std::string::npos);
+  EXPECT_EQ(print_program(*tp.program), print_program(p));
+}
+
+TEST(ApplyTile, UnanalyzableProgramDegradesToNote) {
+  // A program with a guard is a codegen artifact the dependence
+  // analyzer rejects; apply_tile must degrade, not throw.
+  constexpr const char* src = R"(param N
+do I = 1, N
+  if (I - 2 >= 0)
+    S1: A(I) = A(I) + 1.0
+  endif
+end
+)";
+  Program p = parse_program(src);
+  TiledProgram tp = apply_tile(p, {});
+  EXPECT_FALSE(tp.plan.applied);
+  EXPECT_FALSE(tp.program.has_value());
+  EXPECT_NE(tp.plan.note.find("not analyzable"), std::string::npos)
+      << tp.plan.note;
+}
+
+}  // namespace
+}  // namespace inlt

@@ -26,6 +26,12 @@
 //                                              utilization, barrier waits and
 //                                              measured vs. model-predicted
 //                                              parallel fraction
+//   inltc tile      <file> [...ops]            tile a fully-permutable band
+//                                              of the (transformed) nest:
+//                                              --report lists the detected
+//                                              bands; otherwise the tile plan
+//                                              prints to stderr and the tiled
+//                                              program to stdout
 //
 // Transformation ops (composed left to right):
 //   interchange A B | skew T S k | reverse V | scale V k
@@ -71,6 +77,17 @@
 //                     defaults to 5)
 //        (--full generates and prints each legal candidate's program;
 //         the default stops at legality verdicts)
+//        tile: --tile-sizes B1,B2,..  explicit per-loop tile sizes
+//              --tile-auto            sweep the size grid, keep the
+//                                     modeled-traffic argmin
+//              --tile-band K          tile detected band K (default:
+//                                     the deepest band)
+//              --tile-loops A,B,..    tile this loop chain instead
+//              --report               print the band report and stop
+//        search --full --tile / rank --tile: tile every hit's
+//              generated program (search) or annotate each ranked hit
+//              with its tile plan (rank); the tile flags above select
+//              band and sizes
 //
 // All commands run through a TransformSession: the program is parsed
 // and analyzed once, candidate matrices are evaluated against the
@@ -96,6 +113,8 @@
 #include "support/profile.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
+#include "tile/band.hpp"
+#include "tile/plan.hpp"
 #include "transform/completion.hpp"
 #include "transform/legality.hpp"
 #include "transform/parallel.hpp"
@@ -120,6 +139,8 @@ commands:
   profile   <file> [ops...]        run partitioned over --exec-threads workers,
                                    report per-worker utilization, barrier waits
                                    and measured vs. predicted parallel fraction
+  tile      <file> [ops...]        tile a fully-permutable band of the
+                                   (transformed) nest; --report lists bands
 ops: interchange A B | skew T S k | reverse V | scale V k
      reorder PARENT i0 i1 ... | align STMT LOOP k
 flags: --verify N | --engine {vm,ast,native} | --raw | --exact | --pad-zero
@@ -128,6 +149,9 @@ flags: --verify N | --engine {vm,ast,native} | --raw | --exact | --pad-zero
        --profile | --vm-profile
 search/rank flags: --skew-bound B | --skew-depth D | --full | --cost | --top K
   (--full --verify N also semantically verifies every legal candidate)
+tile flags: --tile-sizes B1,B2,.. | --tile-auto | --tile-band K
+            --tile-loops A,B,.. | --report
+  (--tile on search --full / rank tiles or annotates every hit)
 profile flags: --n N | --repeat R | --profile-json | --engine E
   (--engine {vm,ast,native} profiles that serial engine instead of the
    partitioned run; native reports compile and run time separately)
@@ -186,6 +210,12 @@ struct Options {
   bool profile_json = false;  // profile command: JSON report on stdout
   i64 n = 64;                // profile command: problem size (binds N)
   i64 repeat = 1;            // profile command: profiled run count
+  bool tile = false;              // search/rank: tile/annotate every hit
+  std::vector<i64> tile_sizes;    // --tile-sizes: explicit per-loop sizes
+  bool tile_auto = false;         // --tile-auto: sweep the size grid
+  i64 tile_band = -1;             // --tile-band: detected band index
+  std::vector<std::string> tile_loops;  // --tile-loops: explicit chain
+  bool tile_report = false;       // tile --report: band report only
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -223,6 +253,35 @@ int flag_threads(const std::string& flag, const std::string& value) {
                   value + "'",
               2);
   return static_cast<int>(v);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<i64> parse_tile_sizes(const std::string& flag,
+                                  const std::string& value) {
+  std::vector<i64> sizes;
+  for (const std::string& part : split_commas(value)) {
+    i64 v = flag_int(flag, part);
+    if (v <= 0)
+      cli_error("flag " + flag + " expects positive tile sizes, got '" +
+                    part + "'",
+                2);
+    sizes.push_back(v);
+  }
+  return sizes;
 }
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -288,6 +347,23 @@ Options parse_flags(int argc, char** argv, int first) {
     } else if (a == "--repeat") {
       o.repeat = flag_int(a, value(i, a));
       if (o.repeat <= 0) cli_error("flag --repeat expects a positive count", 2);
+    } else if (a == "--tile") {
+      o.tile = true;
+    } else if (a == "--tile-sizes") {
+      o.tile_sizes = parse_tile_sizes(a, value(i, a));
+    } else if (a == "--tile-auto") {
+      o.tile_auto = true;
+    } else if (a == "--tile-band") {
+      o.tile_band = flag_int(a, value(i, a));
+      if (o.tile_band < 0)
+        cli_error("flag --tile-band expects a non-negative band index", 2);
+    } else if (a == "--tile-loops") {
+      o.tile_loops = split_commas(value(i, a));
+      for (const std::string& v : o.tile_loops)
+        if (v.empty())
+          cli_error("flag --tile-loops expects comma-separated loop names", 2);
+    } else if (a == "--report") {
+      o.tile_report = true;
     } else if (a.rfind("--", 0) == 0) {
       // Unknown flags used to fall through as positional arguments and
       // be silently ignored; fail loudly instead.
@@ -460,7 +536,7 @@ int main(int argc, char** argv) {
   // Reject unknown commands before any file is read or analyzed.
   if (cmd != "analyze" && cmd != "transform" && cmd != "explain" &&
       cmd != "complete" && cmd != "search" && cmd != "rank" &&
-      cmd != "parallel" && cmd != "profile")
+      cmd != "parallel" && cmd != "profile" && cmd != "tile")
     cli_error("unknown command '" + cmd + "'", 2);
   std::string path = opts.args[0];
   if (!opts.trace_out.empty() || opts.trace_summary)
@@ -537,6 +613,24 @@ int main(int argc, char** argv) {
         search_opts.verify_params = {{"N", opts.verify_n}};
         search_opts.verify_engine = opts.engine;
       }
+      TileOptions tile_opts;
+      tile_opts.sizes = opts.tile_sizes;
+      tile_opts.band = static_cast<int>(opts.tile_band);
+      tile_opts.loops = opts.tile_loops;
+      tile_opts.auto_select = opts.tile_auto;
+      if (opts.tile) {
+        if (rank) {
+          // Rank never generates code; hits are annotated with a tile
+          // plan after the search instead (below).
+        } else if (!opts.full) {
+          cli_error("--tile on search requires --full (tiling rewrites "
+                    "generated code)",
+                    2);
+        } else {
+          search_opts.tile = true;
+          search_opts.tile_opts = tile_opts;
+        }
+      }
       SearchResult res = session.search(space, search_opts);
       std::cout << "search space: " << res.stats.candidates_total
                 << " candidates (skew bound " << opts.skew_bound << ", depth "
@@ -566,6 +660,19 @@ int main(int argc, char** argv) {
           std::cout << "\nlegal candidate #" << h.index << ":\n"
                     << mat_to_string(h.matrix);
         if (h.cost) std::cout << h.cost->to_text();
+        if (h.tile) std::cout << h.tile->to_text();
+        if (rank && opts.tile) {
+          // Annotate the ranked hit with a tile plan for its generated
+          // program; plan failures report inline rather than aborting
+          // the ranking.
+          try {
+            CandidateResult r = session.evaluate(h.matrix);
+            if (r.legal && r.program)
+              std::cout << apply_tile(*r.program, tile_opts).plan.to_text();
+          } catch (const Error& e) {
+            std::cout << "tile plan: error: " << e.what() << "\n";
+          }
+        }
         if (!h.result.legality.unsatisfied.empty()) {
           std::cout << "unsatisfied self-dependences:";
           for (int d : h.result.legality.unsatisfied) std::cout << " " << d;
@@ -748,6 +855,80 @@ int main(int argc, char** argv) {
       }
       dump_stats(opts);
       return 0;
+    }
+
+    if (cmd == "tile") {
+      // Transform first (ops compose exactly like `transform`), then
+      // tile the resulting nest: detect fully-permutable bands on the
+      // generated program, plan band + sizes, materialize the rewrite.
+      IntMat m = opts.args.size() > 1 ? parse_ops(layout, opts.args, 1)
+                                      : IntMat::identity(layout.size());
+      Program prog = session.program();
+      if (opts.args.size() > 1) {
+        std::cerr << "matrix:\n" << mat_to_string(m) << "\n";
+        CandidateResult r = session.evaluate(m);
+        if (!r.legal) {
+          if (opts.diag_json) {
+            DiagnosticEngine render;
+            for (const Diagnostic& d : r.diagnostics) render.report(d);
+            std::cout << render.to_json() << "\n";
+          } else {
+            std::cerr << "inltc: " << r.error << "\n";
+          }
+          dump_stats(opts);
+          return 1;
+        }
+        prog = *r.program;
+      }
+
+      if (opts.tile_report) {
+        IvLayout tlayout(prog);
+        DependenceSet tdeps;
+        try {
+          tdeps = analyze_dependences(tlayout, sopts.analyzer);
+        } catch (const InvalidProgramError& e) {
+          cli_error(
+              std::string("cannot analyze the program for tiling: ") +
+                  e.what(),
+              1);
+        }
+        std::cout << detect_bands(tlayout, tdeps).to_text(tlayout, tdeps);
+        dump_stats(opts);
+        return 0;
+      }
+
+      TileOptions topts;
+      topts.sizes = opts.tile_sizes;
+      topts.band = static_cast<int>(opts.tile_band);
+      topts.loops = opts.tile_loops;
+      topts.auto_select = opts.tile_auto;
+      // An explicit band or sizes is a direct request: apply it even
+      // when the model predicts no gain. Auto mode lets the model
+      // decide.
+      topts.force = !opts.tile_sizes.empty() || !opts.tile_loops.empty() ||
+                    opts.tile_band >= 0;
+      ModelOptions tile_model;
+      tile_model.exec_threads = opts.exec_threads;
+      TiledProgram tp;
+      try {
+        tp = apply_tile(prog, topts, tile_model);
+      } catch (const TileError& e) {
+        const std::string what = e.what();
+        // Out-of-range band indices are invocation errors (exit 2);
+        // everything else (non-permutable chains, unsupported bound
+        // shapes) is a legality/runtime failure (exit 1).
+        cli_error(what, what.find("out of range") != std::string::npos ? 2
+                                                                       : 1);
+      }
+      std::cerr << tp.plan.to_text();
+      const Program& out = tp.program ? *tp.program : prog;
+      ExecPlan eplan = exec_plan(session, m, opts);
+      if (tp.plan.applied)
+        eplan.target_partition = tiled_partition(
+            eplan.target_partition, tp.plan.spec, tp.plan.tile_vars);
+      int rc = emit_and_verify(session.program(), out, opts, eplan);
+      dump_stats(opts);
+      return rc;
     }
 
     if (cmd == "parallel") {
